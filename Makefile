@@ -1,0 +1,36 @@
+# Convenience targets for the thriftylp repository.
+
+GO ?= go
+
+.PHONY: all build test race cover bench verify experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	GOMAXPROCS=4 $(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One Benchmark family per paper table/figure; see bench_test.go.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Cross-validate every algorithm against the sequential oracle.
+verify:
+	$(GO) run ./cmd/ccverify
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/ccbench -exp all -scale medium
+
+clean:
+	$(GO) clean ./...
+	rm -rf bin datasets

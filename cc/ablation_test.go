@@ -1,0 +1,110 @@
+package cc_test
+
+import (
+	"testing"
+
+	"thriftylp/cc"
+	"thriftylp/graph/gen"
+)
+
+// Every ablation variant must still compute the correct partition — the
+// switches trade work, never correctness.
+func TestAblationVariantsCorrect(t *testing.T) {
+	g, err := gen.Web(gen.WebConfig{CoreScale: 10, CoreEdgeFactor: 8, NumChains: 8, ChainLength: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := cc.Sequential(g)
+	variants := map[string][]cc.Option{
+		"no-initial-push": {cc.WithoutInitialPush()},
+		"plant-at-zero":   {cc.WithPlantVertex(0)},
+		"plant-at-hub":    {cc.WithPlantVertex(g.MaxDegreeVertex())},
+		"eager-frontier":  {cc.WithEagerPullFrontier()},
+		"all-switches":    {cc.WithoutInitialPush(), cc.WithPlantVertex(1), cc.WithEagerPullFrontier()},
+	}
+	for name, opts := range variants {
+		res, err := cc.Run(cc.AlgoThrifty, g, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !cc.Equivalent(res.Labels, oracle) {
+			t.Fatalf("%s: wrong partition", name)
+		}
+	}
+}
+
+// TestNoInitialPushSkipsPushZero: without the initial push, iteration 0 is
+// a pull.
+func TestNoInitialPushSkipsPushZero(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &cc.Instrumentation{}
+	if _, err := cc.Run(cc.AlgoThrifty, g, cc.WithoutInitialPush(), cc.WithInstrumentation(inst)); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Iterations[0].Kind != "pull" {
+		t.Fatalf("iteration 0 kind = %s, want pull", inst.Iterations[0].Kind)
+	}
+}
+
+// TestPlantVertexControlsZero: the planted vertex's component converges to
+// 0 even when it is not the hub's component.
+func TestPlantVertexControlsZero(t *testing.T) {
+	// Two cliques; the bigger one holds the max-degree vertex, but we
+	// plant in the smaller one (vertices 6..9).
+	big, err := gen.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.DisjointUnion(big, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.Run(cc.AlgoThrifty, g, cc.WithPlantVertex(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[7] != 0 || res.Labels[6] != 0 || res.Labels[9] != 0 {
+		t.Fatalf("planted component labels: %v", res.Labels)
+	}
+	if res.Labels[0] == 0 {
+		t.Fatal("unplanted component converged to 0")
+	}
+	if !cc.Verify(g, res.Labels) {
+		t.Fatal("partition wrong")
+	}
+}
+
+// TestPlantingAtFringeCostsWork: structure-oblivious planting must process
+// at least as many edges as hub planting (the §IV-C argument).
+func TestPlantingAtFringeCostsWork(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(13, 16, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a degree-1 fringe vertex.
+	fringe := uint32(0)
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(uint32(v)) == 1 {
+			fringe = uint32(v)
+			break
+		}
+	}
+	instHub, instFringe := &cc.Instrumentation{}, &cc.Instrumentation{}
+	if _, err := cc.Run(cc.AlgoThrifty, g, cc.WithInstrumentation(instHub)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Run(cc.AlgoThrifty, g, cc.WithPlantVertex(fringe), cc.WithInstrumentation(instFringe)); err != nil {
+		t.Fatal(err)
+	}
+	if instFringe.Events["edges"] < instHub.Events["edges"] {
+		t.Fatalf("fringe planting processed %d edges < hub planting's %d",
+			instFringe.Events["edges"], instHub.Events["edges"])
+	}
+}

@@ -1,0 +1,100 @@
+package cc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+)
+
+// fixtures returns the adversarial and realistic graph matrix every
+// algorithm must agree with the sequential oracle on.
+func fixtures(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	fs := map[string]*graph.Graph{}
+	add := func(name string, g *graph.Graph, err error) {
+		if err != nil {
+			t.Fatalf("building fixture %s: %v", name, err)
+		}
+		fs[name] = g
+	}
+	g, err := gen.Empty(0)
+	add("empty", g, err)
+	g, err = gen.Empty(1)
+	add("one-vertex", g, err)
+	g, err = gen.Empty(100)
+	add("isolated-100", g, err)
+	g, err = gen.Path(1000)
+	add("path-1000", g, err)
+	g, err = gen.Cycle(257)
+	add("cycle-257", g, err)
+	g, err = gen.Star(5000)
+	add("star-5000", g, err)
+	g, err = gen.Complete(40)
+	add("complete-40", g, err)
+	g, err = gen.Components(7, 13)
+	add("cliques-7x13", g, err)
+	g, err = gen.PaperFigure2()
+	add("paper-fig2", g, err)
+	g, err = gen.RMAT(gen.DefaultRMAT(12, 8, 1))
+	add("rmat-12", g, err)
+	g, err = gen.RMATCompact(gen.DefaultRMAT(13, 4, 2))
+	add("rmat-13-compact", g, err)
+	g, err = gen.ErdosRenyi(4096, 8192, 3)
+	add("er-4096", g, err)
+	g, err = gen.Grid(gen.GridConfig{Rows: 64, Cols: 64, DropFraction: 0.05, Seed: 4})
+	add("grid-64", g, err)
+	g, err = gen.Web(gen.WebConfig{CoreScale: 10, CoreEdgeFactor: 8, NumChains: 8, ChainLength: 64, Seed: 5})
+	add("web-10", g, err)
+	g, err = gen.BarabasiAlbert(3000, 3, 6)
+	add("ba-3000", g, err)
+	// Self-loops and duplicate edges, not removed at build time.
+	g, err = graph.BuildUndirected([]graph.Edge{
+		{U: 0, V: 0}, {U: 0, V: 1}, {U: 0, V: 1}, {U: 2, V: 2}, {U: 3, V: 4}, {U: 4, V: 3},
+	}, graph.WithNumVertices(6))
+	add("loops-dups", g, err)
+	return fs
+}
+
+// TestAllAlgorithmsMatchOracle is the central correctness matrix: every
+// algorithm × every fixture must produce the oracle's partition.
+func TestAllAlgorithmsMatchOracle(t *testing.T) {
+	for name, g := range fixtures(t) {
+		oracle := cc.Sequential(g)
+		for _, algo := range cc.Algorithms() {
+			t.Run(fmt.Sprintf("%s/%s", name, algo), func(t *testing.T) {
+				res, err := cc.Run(algo, g)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if len(res.Labels) != g.NumVertices() {
+					t.Fatalf("got %d labels for %d vertices", len(res.Labels), g.NumVertices())
+				}
+				if !cc.Equivalent(res.Labels, oracle) {
+					t.Fatalf("partition differs from oracle (iterations=%d)", res.Iterations)
+				}
+			})
+		}
+	}
+}
+
+// TestVerify exercises the public Verify helper in both directions.
+func TestVerify(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cc.Thrifty(g)
+	if !cc.Verify(g, res.Labels) {
+		t.Fatal("Verify rejected a correct labelling")
+	}
+	if g.NumVertices() > 1 && g.Degree(0) > 0 {
+		bad := append([]uint32(nil), res.Labels...)
+		bad[0] = ^uint32(0) // split vertex 0 from its component
+		if cc.Verify(g, bad) {
+			t.Fatal("Verify accepted a corrupted labelling")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package cc_test
+
+import (
+	"fmt"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+)
+
+// The Example functions double as executable documentation (shown on the
+// package's godoc) and as output-checked tests.
+
+func ExampleThrifty() {
+	// A triangle and an isolated edge: two components.
+	g, _ := graph.BuildUndirected([]graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 4},
+	})
+	res := cc.Thrifty(g)
+	fmt.Println("components:", res.NumComponents())
+	fmt.Println("0~2 connected:", res.SameComponent(0, 2))
+	fmt.Println("0~4 connected:", res.SameComponent(0, 4))
+	// Output:
+	// components: 2
+	// 0~2 connected: true
+	// 0~4 connected: false
+}
+
+func ExampleRun() {
+	g, _ := graph.BuildUndirected([]graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	res, err := cc.Run(cc.AlgoAfforest, g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.NumComponents())
+	// Output: 2
+}
+
+func ExampleEquivalent() {
+	g, _ := gen.RMAT(gen.DefaultRMAT(8, 4, 1))
+	a := cc.Thrifty(g)
+	b := cc.JayantiTarjan(g)
+	// Different label value spaces, same partition.
+	fmt.Println(cc.Equivalent(a.Labels, b.Labels))
+	// Output: true
+}
+
+func ExampleNormalize() {
+	labels := []uint32{9, 9, 4, 4, 7}
+	fmt.Println(cc.Normalize(labels))
+	// Output: [0 0 2 2 4]
+}
+
+func ExampleWithInstrumentation() {
+	g, _ := graph.BuildUndirected([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	inst := &cc.Instrumentation{}
+	cc.Run(cc.AlgoThrifty, g, cc.WithInstrumentation(inst))
+	fmt.Println("iteration 0:", inst.Iterations[0].Kind)
+	fmt.Println("edges processed > 0:", inst.Events["edges"] > 0)
+	// Output:
+	// iteration 0: initial-push
+	// edges processed > 0: true
+}
+
+func ExampleResult_ComponentSizes() {
+	g, _ := gen.Components(2, 3) // two 3-cliques
+	res := cc.BFSCC(g)
+	sizes := res.ComponentSizes()
+	fmt.Println(len(sizes))
+	// Output: 2
+}

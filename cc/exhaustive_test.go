@@ -1,0 +1,87 @@
+package cc_test
+
+import (
+	"testing"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+)
+
+// TestExhaustiveTinyGraphs enumerates EVERY undirected simple graph on 5
+// vertices (all 2^10 = 1024 subsets of K5's edge set) and checks every
+// algorithm against the oracle on each. Combined with the randomized
+// property tests this gives exhaustive coverage of the small-graph corner
+// cases (empty, disconnected, trees, cycles, cliques, and everything in
+// between) that sampling could miss.
+func TestExhaustiveTinyGraphs(t *testing.T) {
+	const n = 5
+	var pairs [][2]uint32
+	for u := uint32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]uint32{u, v})
+		}
+	}
+	if len(pairs) != 10 {
+		t.Fatalf("expected 10 vertex pairs, got %d", len(pairs))
+	}
+	algos := cc.Algorithms()
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		var edges []graph.Edge
+		for i, p := range pairs {
+			if mask&(1<<i) != 0 {
+				edges = append(edges, graph.Edge{U: p[0], V: p[1]})
+			}
+		}
+		g, err := graph.BuildUndirected(edges, graph.WithNumVertices(n))
+		if err != nil {
+			t.Fatalf("mask %04x: %v", mask, err)
+		}
+		oracle := cc.Sequential(g)
+		for _, a := range algos {
+			res, err := cc.Run(a, g)
+			if err != nil {
+				t.Fatalf("mask %04x %s: %v", mask, a, err)
+			}
+			if !cc.Equivalent(res.Labels, oracle) {
+				t.Fatalf("mask %04x: %s computed wrong partition (labels %v, oracle %v)",
+					mask, a, res.Labels, oracle)
+			}
+		}
+	}
+}
+
+// TestExhaustiveTinyGraphsWithLoops repeats the sweep on 4 vertices with
+// self-loops included in the enumerated edge set (2^10 again: 6 pairs + 4
+// loops).
+func TestExhaustiveTinyGraphsWithLoops(t *testing.T) {
+	const n = 4
+	var pairs [][2]uint32
+	for u := uint32(0); u < n; u++ {
+		for v := u; v < n; v++ { // v == u gives a self-loop
+			pairs = append(pairs, [2]uint32{u, v})
+		}
+	}
+	algos := cc.Algorithms()
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		var edges []graph.Edge
+		for i, p := range pairs {
+			if mask&(1<<i) != 0 {
+				edges = append(edges, graph.Edge{U: p[0], V: p[1]})
+			}
+		}
+		g, err := graph.BuildUndirected(edges, graph.WithNumVertices(n))
+		if err != nil {
+			t.Fatalf("mask %04x: %v", mask, err)
+		}
+		oracle := cc.Sequential(g)
+		for _, a := range algos {
+			res, err := cc.Run(a, g)
+			if err != nil {
+				t.Fatalf("mask %04x %s: %v", mask, a, err)
+			}
+			if !cc.Equivalent(res.Labels, oracle) {
+				t.Fatalf("mask %04x: %s computed wrong partition", mask, a)
+			}
+		}
+	}
+}

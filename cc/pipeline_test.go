@@ -1,0 +1,156 @@
+package cc_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+)
+
+// Cross-feature invariants: the public API pieces (CC, relabeling, subgraph
+// extraction) compose the way downstream users chain them.
+
+// TestRelabelInvariance: component structure is invariant under any vertex
+// relabeling — run CC, relabel, run CC again, and map the partitions
+// through the permutation.
+func TestRelabelInvariance(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(11, 8, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cc.Thrifty(g)
+
+	ng, perm, err := graph.RelabelByDegree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := cc.Thrifty(ng)
+
+	// Pull after's labels back through the permutation and compare
+	// partitions in the original id space.
+	back := make([]uint32, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		back[v] = after.Labels[perm[v]]
+	}
+	if !cc.Equivalent(before.Labels, back) {
+		t.Fatal("relabeling changed the component structure")
+	}
+	if before.NumComponents() != after.NumComponents() {
+		t.Fatalf("component counts differ: %d vs %d", before.NumComponents(), after.NumComponents())
+	}
+}
+
+// TestGiantComponentExtractionPipeline: the intro's canonical pipeline —
+// find components, extract the giant, process it further. The extracted
+// subgraph must be connected and have the right size.
+func TestGiantComponentExtractionPipeline(t *testing.T) {
+	core, err := gen.RMATCompact(gen.DefaultRMAT(12, 12, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	islands, err := gen.Islands(10, 8, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.DisjointUnion(core, islands)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := cc.Afforest(g)
+	label, size := res.LargestComponent()
+	sub, orig, err := graph.ComponentSubgraph(g, res.Labels, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(sub.NumVertices()) != size {
+		t.Fatalf("subgraph has %d vertices, census says %d", sub.NumVertices(), size)
+	}
+	if len(orig) != sub.NumVertices() {
+		t.Fatal("mapping length mismatch")
+	}
+	// The extracted component is connected: one component in the subgraph.
+	subRes := cc.Thrifty(sub)
+	if subRes.NumComponents() != 1 {
+		t.Fatalf("extracted giant has %d components", subRes.NumComponents())
+	}
+	// Degrees inside the component are preserved exactly (no edge of a
+	// component leaves the component).
+	for nv, ov := range orig {
+		if sub.Degree(uint32(nv)) != g.Degree(ov) {
+			t.Fatalf("degree changed for vertex %d during extraction", ov)
+		}
+	}
+}
+
+// TestQuickRelabelInvariance hammers the invariance on random graphs and
+// random permutations.
+func TestQuickRelabelInvariance(t *testing.T) {
+	f := func(raw []byte, permSeed uint16) bool {
+		const n = 48
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: uint32(raw[i] % n), V: uint32(raw[i+1] % n)})
+		}
+		g, err := graph.BuildUndirected(edges, graph.WithNumVertices(n))
+		if err != nil {
+			return false
+		}
+		// Fisher-Yates with a toy LCG for a deterministic permutation.
+		perm := make([]uint32, n)
+		for i := range perm {
+			perm[i] = uint32(i)
+		}
+		state := uint32(permSeed) + 1
+		for i := n - 1; i > 0; i-- {
+			state = state*1664525 + 1013904223
+			j := int(state) % (i + 1)
+			if j < 0 {
+				j = -j
+			}
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		ng, err := graph.Relabel(g, perm)
+		if err != nil {
+			return false
+		}
+		before := cc.JayantiTarjan(g)
+		after := cc.JayantiTarjan(ng)
+		back := make([]uint32, n)
+		for v := 0; v < n; v++ {
+			back[v] = after.Labels[perm[v]]
+		}
+		return cc.Equivalent(before.Labels, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSBMCensusThroughCC: the census-controlled generator and the census
+// reporting agree end to end.
+func TestSBMCensusThroughCC(t *testing.T) {
+	g, err := gen.SBM(gen.SBMConfig{Blocks: 23, BlockSize: 11, IntraDegree: 2, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []cc.Algorithm{cc.AlgoThrifty, cc.AlgoAfforest, cc.AlgoBFSCC} {
+		res, err := cc.Run(a, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumComponents() != 23 {
+			t.Fatalf("%s: %d components, want 23", a, res.NumComponents())
+		}
+	}
+	bridged, err := gen.SBM(gen.SBMConfig{Blocks: 23, BlockSize: 11, IntraDegree: 2, InterEdges: 1, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cc.Thrifty(bridged)
+	if res.NumComponents() != 1 {
+		t.Fatalf("bridged SBM: %d components, want 1", res.NumComponents())
+	}
+}

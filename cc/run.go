@@ -1,0 +1,202 @@
+package cc
+
+import (
+	"fmt"
+
+	"thriftylp/graph"
+	"thriftylp/internal/core"
+	"thriftylp/internal/counters"
+	"thriftylp/internal/parallel"
+)
+
+// Result is the outcome of a connected-components run.
+type Result struct {
+	// Labels assigns every vertex its component label. Label value spaces
+	// differ per algorithm; use Normalize or Equivalent for comparisons.
+	Labels []uint32
+	// Iterations is the number of iterations (graph passes for union-find
+	// algorithms, BFS levels for BFS-CC; Thrifty counts the initial push).
+	Iterations int
+	// PushIterations and PullIterations decompose label-propagation runs.
+	PushIterations, PullIterations int
+
+	numComponents int // lazily computed; 0 = unknown (valid graphs with 0 vertices have 0 components)
+}
+
+// NumComponents returns the number of connected components, computed on
+// first call.
+func (r *Result) NumComponents() int {
+	if r.numComponents == 0 && len(r.Labels) > 0 {
+		seen := make(map[uint32]struct{}, 64)
+		for _, l := range r.Labels {
+			seen[l] = struct{}{}
+		}
+		r.numComponents = len(seen)
+	}
+	return r.numComponents
+}
+
+// ComponentOf returns v's component label.
+func (r *Result) ComponentOf(v uint32) uint32 { return r.Labels[v] }
+
+// SameComponent reports whether u and v are connected.
+func (r *Result) SameComponent(u, v uint32) bool { return r.Labels[u] == r.Labels[v] }
+
+// ComponentSizes returns a map from component label to vertex count.
+func (r *Result) ComponentSizes() map[uint32]int64 {
+	sizes := make(map[uint32]int64, 64)
+	for _, l := range r.Labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// LargestComponent returns the label and size of the largest component.
+// On an empty graph it returns (0, 0).
+func (r *Result) LargestComponent() (label uint32, size int64) {
+	for l, s := range r.ComponentSizes() {
+		if s > size || (s == size && l < label) {
+			label, size = l, s
+		}
+	}
+	return
+}
+
+// run dispatches to the internal implementation.
+func run(a Algorithm, g *graph.Graph, o *options) (core.Result, error) {
+	switch a {
+	case AlgoThrifty:
+		return core.Thrifty(g, o.cfg), nil
+	case AlgoDOLP:
+		return core.DOLP(g, o.cfg), nil
+	case AlgoDOLPUnified:
+		return core.DOLPUnified(g, o.cfg), nil
+	case AlgoLP:
+		return core.LP(g, o.cfg), nil
+	case AlgoSV:
+		return core.ShiloachVishkin(g, o.cfg), nil
+	case AlgoAfforest:
+		return core.Afforest(g, o.cfg), nil
+	case AlgoJayantiT:
+		return core.JayantiTarjan(g, o.cfg), nil
+	case AlgoBFSCC:
+		return core.BFSCC(g, o.cfg), nil
+	case AlgoFastSV:
+		return core.FastSV(g, o.cfg), nil
+	case AlgoConnectItKOut:
+		return core.ConnectItKOut(g, o.cfg), nil
+	case AlgoConnectItBFS:
+		return core.ConnectItBFS(g, o.cfg), nil
+	default:
+		return core.Result{}, fmt.Errorf("cc: unknown algorithm %q", a)
+	}
+}
+
+// Run executes algorithm a on g and returns its Result.
+func Run(a Algorithm, g *graph.Graph, opts ...Option) (Result, error) {
+	o := &options{}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.pool != nil {
+		o.cfg.Pool = o.pool
+		defer func() {
+			if o.ownPool {
+				o.pool.Close()
+			}
+		}()
+	}
+	if o.inst != nil {
+		pool := o.cfg.Pool
+		if pool == nil {
+			pool = parallel.Default()
+		}
+		o.cfg.Ctr = counters.New(pool.Threads())
+		o.cfg.Lines = counters.NewLineTracker(g.NumVertices())
+		tr := &counters.Trace{}
+		if o.inst.OnIteration != nil {
+			cb := o.inst.OnIteration
+			tr.OnIteration = func(rec counters.IterRecord, labels []uint32) {
+				cb(toIterStats(rec), labels)
+			}
+		}
+		o.cfg.Trace = tr
+	}
+
+	cres, err := run(a, g, o)
+	if err != nil {
+		return Result{}, err
+	}
+
+	if o.inst != nil {
+		o.inst.Events = make(map[string]int64)
+		for _, e := range counters.Events() {
+			o.inst.Events[e.String()] = o.cfg.Ctr.Total(e)
+		}
+		o.inst.Iterations = o.inst.Iterations[:0]
+		for _, rec := range o.cfg.Trace.Iters {
+			o.inst.Iterations = append(o.inst.Iterations, toIterStats(rec))
+		}
+	}
+
+	return Result{
+		Labels:         cres.Labels,
+		Iterations:     cres.Iterations,
+		PushIterations: cres.PushIterations,
+		PullIterations: cres.PullIterations,
+	}, nil
+}
+
+func toIterStats(rec counters.IterRecord) IterationStats {
+	return IterationStats{
+		Index:         rec.Index,
+		Kind:          string(rec.Kind),
+		Active:        rec.Active,
+		Changed:       rec.Changed,
+		ConvergedZero: rec.Zero,
+		Edges:         rec.Edges,
+		Density:       rec.Density,
+		Duration:      rec.Duration,
+	}
+}
+
+// Thrifty runs Thrifty Label Propagation (the paper's Algorithm 2).
+func Thrifty(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoThrifty, g, opts) }
+
+// DOLP runs Direction-Optimizing Label Propagation (Algorithm 1).
+func DOLP(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoDOLP, g, opts) }
+
+// DOLPUnified runs the DO-LP + Unified Labels Array ablation variant.
+func DOLPUnified(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoDOLPUnified, g, opts) }
+
+// LP runs textbook synchronous Label Propagation.
+func LP(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoLP, g, opts) }
+
+// ShiloachVishkin runs the Shiloach-Vishkin CC algorithm.
+func ShiloachVishkin(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoSV, g, opts) }
+
+// Afforest runs the sampling-based Afforest CC algorithm.
+func Afforest(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoAfforest, g, opts) }
+
+// JayantiTarjan runs the Jayanti-Tarjan concurrent union-find CC.
+func JayantiTarjan(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoJayantiT, g, opts) }
+
+// BFSCC runs direction-optimizing BFS-based CC.
+func BFSCC(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoBFSCC, g, opts) }
+
+// FastSV runs the FastSV min-hooking CC algorithm.
+func FastSV(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoFastSV, g, opts) }
+
+// ConnectItKOut runs the ConnectIt-style k-out-sampling + union-find CC.
+func ConnectItKOut(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoConnectItKOut, g, opts) }
+
+// ConnectItBFS runs the ConnectIt-style BFS-sampling + union-find CC.
+func ConnectItBFS(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoConnectItBFS, g, opts) }
+
+func mustRun(a Algorithm, g *graph.Graph, opts []Option) Result {
+	r, err := Run(a, g, opts...)
+	if err != nil {
+		panic(err) // unreachable: a is always a known constant here
+	}
+	return r
+}

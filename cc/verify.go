@@ -1,0 +1,28 @@
+package cc
+
+import (
+	"thriftylp/graph"
+	"thriftylp/internal/core"
+)
+
+// Sequential returns the labelling of the sequential breadth-first oracle:
+// every vertex labelled with the smallest vertex id in its component. It is
+// the ground truth the parallel algorithms are validated against.
+func Sequential(g *graph.Graph) []uint32 { return core.SeqCC(g) }
+
+// Normalize rewrites labels into canonical form — every vertex gets the
+// smallest vertex id sharing its raw label — so labellings from different
+// algorithms (Thrifty's 0-planted labels, union-find roots, BFS component
+// ids) become directly comparable.
+func Normalize(labels []uint32) []uint32 { return core.Normalize(labels) }
+
+// Equivalent reports whether two labellings describe the same partition of
+// the vertex set, regardless of label values.
+func Equivalent(a, b []uint32) bool { return core.Equivalent(a, b) }
+
+// Verify checks that labels is a correct connected-components labelling of
+// g: both endpoints of every edge share a label, and the partition matches
+// the sequential oracle exactly (no under- or over-merging).
+func Verify(g *graph.Graph, labels []uint32) bool {
+	return core.VerifyAgainstGraph(g, labels)
+}

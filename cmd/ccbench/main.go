@@ -1,0 +1,78 @@
+// Command ccbench regenerates the tables and figures of the Thrifty Label
+// Propagation paper's evaluation section on the synthetic analog suite.
+//
+// Usage:
+//
+//	ccbench -exp table4                 # one experiment
+//	ccbench -exp all -scale small       # everything, quickly
+//	ccbench -exp fig5 -scale large -reps 5 -csv out.csv
+//
+// Experiment ids follow the paper's numbering: table1, table2, table4,
+// table5, table6, table7, fig1, fig2, fig3, fig5, fig6, fig7, fig9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"thriftylp/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see package doc) or 'all'")
+		scale   = flag.String("scale", "medium", "dataset scale: small, medium, large")
+		reps    = flag.Int("reps", 3, "timed repetitions per measurement (min is reported)")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		csvPath = flag.String("csv", "", "also append results as CSV to this file")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(harness.Experiments(), "\n"))
+		return
+	}
+
+	cfg := harness.RunConfig{
+		Scale:   harness.Scale(*scale),
+		Reps:    *reps,
+		Threads: *threads,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.Experiments()
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatalf("opening %s: %v", *csvPath, err)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		t, err := harness.RunExperiment(id, cfg)
+		if err != nil {
+			fatalf("experiment %s: %v", id, err)
+		}
+		fmt.Println(t.Render())
+		fmt.Printf("(%s completed in %v at scale %s)\n\n", id, time.Since(start).Round(time.Millisecond), cfg.Scale)
+		if csv != nil {
+			fmt.Fprintf(csv, "# %s\n%s\n", id, t.CSV())
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ccbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command ccverify cross-validates every connected-components algorithm in
+// the repository against the sequential oracle on a battery of generated
+// graphs — the CI smoke check. It exits non-zero on the first disagreement.
+//
+//	ccverify                 # default battery
+//	ccverify -seeds 20       # more random instances
+//	ccverify -in graph.bin   # validate all algorithms on one graph file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "validate on this graph file instead of the generated battery")
+		seeds = flag.Int("seeds", 5, "random instances per generator family")
+		quiet = flag.Bool("q", false, "only print failures and the final summary")
+	)
+	flag.Parse()
+
+	var cases []struct {
+		name string
+		g    *graph.Graph
+	}
+	add := func(name string, g *graph.Graph, err error) {
+		if err != nil {
+			fatalf("building %s: %v", name, err)
+		}
+		cases = append(cases, struct {
+			name string
+			g    *graph.Graph
+		}{name, g})
+	}
+
+	if *in != "" {
+		g, err := graph.Load(*in)
+		add(*in, g, err)
+	} else {
+		for s := 0; s < *seeds; s++ {
+			seed := uint64(s)
+			g, err := gen.RMAT(gen.DefaultRMAT(12, 8, seed))
+			add(fmt.Sprintf("rmat-seed%d", s), g, err)
+			g, err = gen.ErdosRenyi(4096, 6000, seed)
+			add(fmt.Sprintf("er-seed%d", s), g, err)
+			g, err = gen.Web(gen.WebConfig{CoreScale: 10, CoreEdgeFactor: 6, NumChains: 8, ChainLength: 40, Seed: seed})
+			add(fmt.Sprintf("web-seed%d", s), g, err)
+		}
+		g, err := gen.Path(20000)
+		add("path", g, err)
+		g, err = gen.Star(20000)
+		add("star", g, err)
+		g, err = gen.Components(50, 10)
+		add("cliques", g, err)
+		g, err = gen.Grid(gen.GridConfig{Rows: 100, Cols: 100, DropFraction: 0.05, Seed: 1})
+		add("grid", g, err)
+	}
+
+	start := time.Now()
+	checks, failures := 0, 0
+	for _, tc := range cases {
+		oracle := cc.Sequential(tc.g)
+		for _, a := range cc.Algorithms() {
+			res, err := cc.Run(a, tc.g)
+			checks++
+			if err != nil {
+				failures++
+				fmt.Printf("FAIL %-20s %-16s error: %v\n", tc.name, a, err)
+				continue
+			}
+			if !cc.Equivalent(res.Labels, oracle) {
+				failures++
+				fmt.Printf("FAIL %-20s %-16s partition differs from oracle\n", tc.name, a)
+				continue
+			}
+			if !*quiet {
+				fmt.Printf("ok   %-20s %-16s %d components, %d iterations\n",
+					tc.name, a, res.NumComponents(), res.Iterations)
+			}
+		}
+	}
+	fmt.Printf("\n%d checks, %d failures in %v\n", checks, failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ccverify: "+format+"\n", args...)
+	os.Exit(1)
+}

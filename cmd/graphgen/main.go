@@ -1,0 +1,115 @@
+// Command graphgen generates synthetic graphs and writes them to disk in
+// either the text edge-list format or the compact binary CSR format this
+// repository uses for large datasets.
+//
+//	graphgen -gen rmat:22:16 -o twitter-analog.bin
+//	graphgen -gen road:4000000 -o road.el
+//	graphgen -suite medium -dir datasets/   # materialize the whole analog suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+	"thriftylp/internal/harness"
+)
+
+func main() {
+	var (
+		spec  = flag.String("gen", "", "generator spec (rmat:<scale>[:<ef>], road:<n>, er:<n>[:<m>], web:<scale>, ba:<n>[:<m>])")
+		out   = flag.String("o", "", "output path (.bin/.csr = binary CSR, anything else = edge list)")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		suite = flag.String("suite", "", "materialize the whole analog suite at this scale (small/medium/large)")
+		dir   = flag.String("dir", "datasets", "output directory for -suite")
+	)
+	flag.Parse()
+
+	if *suite != "" {
+		if err := writeSuite(harness.Scale(*suite), *dir); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *spec == "" || *out == "" {
+		fatalf("need -gen and -o (or -suite)")
+	}
+	g, err := buildSpec(*spec, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := writeGraph(*out, g); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, g.NumVertices(), g.NumEdges())
+}
+
+func buildSpec(spec string, seed uint64) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(i, def int) int {
+		if len(parts) <= i || parts[i] == "" {
+			return def
+		}
+		var v int
+		fmt.Sscanf(parts[i], "%d", &v)
+		return v
+	}
+	switch parts[0] {
+	case "rmat":
+		return gen.RMATCompact(gen.DefaultRMAT(atoi(1, 18), atoi(2, 16), seed))
+	case "road":
+		return gen.Road(atoi(1, 1<<20), seed)
+	case "er":
+		n := atoi(1, 1<<18)
+		return gen.ErdosRenyi(n, atoi(2, 8*n), seed)
+	case "web":
+		return gen.Web(gen.DefaultWeb(atoi(1, 16), seed))
+	case "ba":
+		return gen.BarabasiAlbert(atoi(1, 1<<18), atoi(2, 8), seed)
+	default:
+		return nil, fmt.Errorf("unknown generator %q", parts[0])
+	}
+}
+
+func writeGraph(path string, g *graph.Graph) error {
+	if strings.HasSuffix(path, ".bin") || strings.HasSuffix(path, ".csr") {
+		return graph.SaveBinary(path, g)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSuite(s harness.Scale, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, d := range harness.Suite(s) {
+		g, err := d.Build()
+		if err != nil {
+			return fmt.Errorf("building %s: %w", d.Name, err)
+		}
+		path := filepath.Join(dir, d.Name+".bin")
+		if err := graph.SaveBinary(path, g); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		fmt.Printf("wrote %-20s %12d vertices %14d edges  (analog of %s)\n",
+			path, g.NumVertices(), g.NumEdges(), d.Analog)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+	os.Exit(1)
+}

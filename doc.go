@@ -1,0 +1,14 @@
+// Package thriftylp is a Go reproduction of "Thrifty Label Propagation:
+// Fast Connected Components for Skewed-Degree Graphs" (Koohi Esfahani,
+// Kilpatrick & Vandierendonck, IEEE CLUSTER 2021).
+//
+// The public API lives in the subpackages:
+//
+//   - graph     — CSR graph representation, builders and I/O
+//   - graph/gen — synthetic dataset generators (RMAT, road grids, web-like…)
+//   - cc        — Thrifty and every baseline CC algorithm behind one API
+//
+// The benchmark harness regenerating the paper's tables and figures is in
+// bench_test.go (go test -bench=.) and cmd/ccbench; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for measured-vs-paper results.
+package thriftylp

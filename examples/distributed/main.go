@@ -1,0 +1,45 @@
+// Distributed-memory simulation: the paper's §VII future work. Label
+// propagation's SpMV structure is what lets it scale to distributed
+// systems where union-find cannot (§V-B); this example runs CC on a
+// simulated BSP cluster and shows what Thrifty's optimizations do to the
+// two distributed cost drivers — supersteps (latency) and messages
+// (network traffic).
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thriftylp/cc"
+	"thriftylp/graph/gen"
+	"thriftylp/internal/dist"
+)
+
+func main() {
+	g, err := gen.RMATCompact(gen.DefaultRMAT(16, 16, 33))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+	oracle := cc.Sequential(g)
+
+	fmt.Printf("%-8s %-9s %-12s %-14s %-12s\n", "workers", "mode", "supersteps", "messages", "edge scans")
+	for _, workers := range []int{2, 4, 8, 16} {
+		for _, thrifty := range []bool{false, true} {
+			res := dist.Run(g, dist.Config{Workers: workers, Thrifty: thrifty})
+			if !cc.Equivalent(res.Labels, oracle) {
+				log.Fatalf("workers=%d thrifty=%v produced a wrong partition", workers, thrifty)
+			}
+			mode := "plain-lp"
+			if thrifty {
+				mode = "thrifty"
+			}
+			fmt.Printf("%-8d %-9s %-12d %-14d %-12d\n",
+				workers, mode, res.Supersteps, res.MessagesSent, res.EdgeScans)
+		}
+	}
+	fmt.Println("\nThrifty mode cuts messages and scans: the zero label floods the giant")
+	fmt.Println("component from the hub, and converged (zero) vertices stop transmitting.")
+}

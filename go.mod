@@ -1,0 +1,3 @@
+module thriftylp
+
+go 1.22

@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"thriftylp/internal/parallel"
+)
+
+// BuildOption configures BuildUndirected.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	numVertices int
+	dedup       bool
+	dropLoops   bool
+	sortAdj     bool
+}
+
+// WithNumVertices fixes the vertex count instead of inferring max-id+1.
+// Ids in edges must be < n.
+func WithNumVertices(n int) BuildOption {
+	return func(c *buildConfig) { c.numVertices = n }
+}
+
+// WithDedup removes duplicate edges (parallel edges collapse to one). It
+// implies sorted adjacency lists.
+func WithDedup() BuildOption {
+	return func(c *buildConfig) { c.dedup = true; c.sortAdj = true }
+}
+
+// WithoutSelfLoops drops self-loop edges during construction.
+func WithoutSelfLoops() BuildOption {
+	return func(c *buildConfig) { c.dropLoops = true }
+}
+
+// WithSortedAdjacency sorts each vertex's neighbour list ascending.
+func WithSortedAdjacency() BuildOption {
+	return func(c *buildConfig) { c.sortAdj = true }
+}
+
+// BuildUndirected constructs a CSR graph from an edge list. Each edge {U,V}
+// with U≠V occupies two adjacency slots (U→V and V→U); a self-loop occupies
+// one. Construction is parallel: degrees are counted with atomic adds and
+// slots filled through per-vertex atomic cursors, partitioned over the
+// default worker pool.
+func BuildUndirected(edges []Edge, opts ...BuildOption) (*Graph, error) {
+	var cfg buildConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pool := parallel.Default()
+
+	n := cfg.numVertices
+	if n == 0 {
+		var maxID int64 = -1
+		parallel.For(pool, len(edges), 1<<16, func(_, lo, hi int) {
+			local := int64(-1)
+			for _, e := range edges[lo:hi] {
+				if int64(e.U) > local {
+					local = int64(e.U)
+				}
+				if int64(e.V) > local {
+					local = int64(e.V)
+				}
+			}
+			for {
+				cur := atomic.LoadInt64(&maxID)
+				if cur >= local || atomic.CompareAndSwapInt64(&maxID, cur, local) {
+					break
+				}
+			}
+		})
+		n = int(maxID + 1)
+	} else {
+		for _, e := range edges {
+			if int(e.U) >= n || int(e.V) >= n {
+				return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", e.U, e.V, n)
+			}
+		}
+	}
+
+	// Pass 1: degree counting.
+	deg := make([]int64, n+1) // deg[v+1] accumulates v's slot count
+	parallel.For(pool, len(edges), 1<<16, func(_, lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			if e.U == e.V {
+				if !cfg.dropLoops {
+					atomic.AddInt64(&deg[e.U+1], 1)
+				}
+				continue
+			}
+			atomic.AddInt64(&deg[e.U+1], 1)
+			atomic.AddInt64(&deg[e.V+1], 1)
+		}
+	})
+
+	// Prefix sum → offsets.
+	offsets := deg
+	for v := 1; v <= n; v++ {
+		offsets[v] += offsets[v-1]
+	}
+	adj := make([]uint32, offsets[n])
+
+	// Pass 2: slot filling through atomic per-vertex cursors.
+	cursor := make([]int64, n)
+	parallel.For(pool, n, 1<<16, func(_, lo, hi int) {
+		copy(cursor[lo:hi], offsets[lo:hi])
+	})
+	parallel.For(pool, len(edges), 1<<16, func(_, lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			if e.U == e.V {
+				if !cfg.dropLoops {
+					adj[atomic.AddInt64(&cursor[e.U], 1)-1] = e.V
+				}
+				continue
+			}
+			adj[atomic.AddInt64(&cursor[e.U], 1)-1] = e.V
+			adj[atomic.AddInt64(&cursor[e.V], 1)-1] = e.U
+		}
+	})
+
+	g := &Graph{offsets: offsets, adj: adj}
+	if cfg.sortAdj || cfg.dedup {
+		parallel.For(pool, n, 4096, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				l := adj[offsets[v]:offsets[v+1]]
+				sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+			}
+		})
+	}
+	if cfg.dedup {
+		g = dedupCSR(g)
+	}
+	if g.NumVertices() > 0 {
+		g.computeMaxDegree()
+	}
+	return g, nil
+}
+
+// dedupCSR rebuilds a graph with duplicate adjacency entries removed.
+// Adjacency lists must already be sorted.
+func dedupCSR(g *Graph) *Graph {
+	n := g.NumVertices()
+	newOff := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		l := g.Neighbors(uint32(v))
+		cnt := int64(0)
+		for i, u := range l {
+			if i == 0 || u != l[i-1] {
+				cnt++
+			}
+		}
+		newOff[v+1] = newOff[v] + cnt
+	}
+	newAdj := make([]uint32, newOff[n])
+	for v := 0; v < n; v++ {
+		l := g.Neighbors(uint32(v))
+		w := newOff[v]
+		for i, u := range l {
+			if i == 0 || u != l[i-1] {
+				newAdj[w] = u
+				w++
+			}
+		}
+	}
+	return &Graph{offsets: newOff, adj: newAdj}
+}
+
+// RemoveIsolated returns a copy of g with zero-degree vertices removed and
+// the surviving vertices renumbered densely, plus a mapping from new id to
+// original id. The paper removes zero-degree vertices from all datasets
+// "because of their destructive effect" on frontier density heuristics
+// (§V-A). If g has no isolated vertices it is returned unchanged with an
+// identity mapping of nil.
+func RemoveIsolated(g *Graph) (*Graph, []uint32) {
+	n := g.NumVertices()
+	isolated := 0
+	for v := 0; v < n; v++ {
+		if g.Degree(uint32(v)) == 0 {
+			isolated++
+		}
+	}
+	if isolated == 0 {
+		return g, nil
+	}
+	newID := make([]uint32, n)
+	origID := make([]uint32, 0, n-isolated)
+	next := uint32(0)
+	for v := 0; v < n; v++ {
+		if g.Degree(uint32(v)) > 0 {
+			newID[v] = next
+			origID = append(origID, uint32(v))
+			next++
+		}
+	}
+	m := int(next)
+	offsets := make([]int64, m+1)
+	adj := make([]uint32, len(g.adj))
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		if g.Degree(uint32(v)) == 0 {
+			continue
+		}
+		nv := newID[v]
+		offsets[nv] = w
+		for _, u := range g.Neighbors(uint32(v)) {
+			adj[w] = newID[u]
+			w++
+		}
+	}
+	offsets[m] = w
+	ng := &Graph{offsets: offsets, adj: adj[:w]}
+	if m > 0 {
+		ng.computeMaxDegree()
+	}
+	return ng, origID
+}

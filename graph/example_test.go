@@ -1,0 +1,57 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"thriftylp/graph"
+)
+
+func ExampleBuildUndirected() {
+	g, err := graph.BuildUndirected([]graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 1, V: 2}, // duplicate collapses
+	}, graph.WithDedup())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g)
+	fmt.Println("degree of 1:", g.Degree(1))
+	// Output:
+	// graph{|V|=3, |E|=2}
+	// degree of 1: 2
+}
+
+func ExampleGraph_Neighbors() {
+	g, _ := graph.BuildUndirected([]graph.Edge{{U: 0, V: 2}, {U: 0, V: 1}},
+		graph.WithSortedAdjacency())
+	fmt.Println(g.Neighbors(0))
+	// Output: [1 2]
+}
+
+func ExampleGraph_MaxDegreeVertex() {
+	// The vertex Thrifty's Zero Planting selects.
+	g, _ := graph.BuildUndirected([]graph.Edge{{U: 3, V: 0}, {U: 3, V: 1}, {U: 3, V: 2}})
+	fmt.Println(g.MaxDegreeVertex())
+	// Output: 3
+}
+
+func ExampleRemoveIsolated() {
+	g, _ := graph.BuildUndirected([]graph.Edge{{U: 1, V: 3}}, graph.WithNumVertices(5))
+	compact, origIDs := graph.RemoveIsolated(g)
+	fmt.Println(compact.NumVertices(), origIDs)
+	// Output: 2 [1 3]
+}
+
+func ExampleInducedSubgraph() {
+	g, _ := graph.BuildUndirected([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	sub, orig, _ := graph.InducedSubgraph(g, []uint32{1, 2, 3})
+	fmt.Println(sub.NumVertices(), sub.NumEdges(), orig)
+	// Output: 3 2 [1 2 3]
+}
+
+func ExampleRelabelByDegree() {
+	// Hub-first renumbering: vertex 2 (degree 3) becomes vertex 0.
+	g, _ := graph.BuildUndirected([]graph.Edge{{U: 2, V: 0}, {U: 2, V: 1}, {U: 2, V: 3}})
+	ng, perm, _ := graph.RelabelByDegree(g)
+	fmt.Println(ng.MaxDegreeVertex(), perm[2])
+	// Output: 0 0
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets for the parsing/serialization surfaces. Under plain
+// `go test` they run their seed corpus as regression tests; under
+// `go test -fuzz=FuzzX` they explore further.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n\n5 5\n")
+	f.Add("0 1 extra tokens\n")
+	f.Add("999999 3\n")
+	f.Add("-1 2\n")
+	f.Add("a b\n")
+	f.Add(strings.Repeat("1 2\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejecting malformed input is fine; crashing is not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted input produced invalid CSR: %v\ninput: %q", err, input)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid file and with mutations of it.
+	g, err := BuildUndirected([]Edge{{0, 1}, {1, 2}, {2, 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted binary produced invalid CSR: %v", err)
+		}
+	})
+}
+
+func FuzzBuildUndirected(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2})
+	f.Add([]byte{5, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{U: uint32(raw[i]), V: uint32(raw[i+1])})
+		}
+		g, err := BuildUndirected(edges, WithDedup())
+		if err != nil {
+			t.Fatalf("build failed on in-range input: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph invalid: %v", err)
+		}
+		// Round trip through both formats preserves the structure.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumDirectedEdges() != g.NumDirectedEdges() {
+			t.Fatal("binary round trip changed sizes")
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package gen
+
+import (
+	"fmt"
+
+	"thriftylp/graph"
+	"thriftylp/internal/parallel"
+)
+
+// ErdosRenyiEdges generates m uniform random edges over n vertices (the
+// G(n, m) model). Duplicates and self-loops may occur and are removed by
+// ErdosRenyi's build step.
+func ErdosRenyiEdges(n int, m int, seed uint64) ([]graph.Edge, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs n > 0, got %d", n)
+	}
+	if n > 1<<31 {
+		return nil, fmt.Errorf("gen: n = %d exceeds uint32 vertex ids", n)
+	}
+	edges := make([]graph.Edge, m)
+	pool := parallel.Default()
+	const chunk = 1 << 14
+	parallel.For(pool, (m+chunk-1)/chunk, 1, func(_, clo, chi int) {
+		for ci := clo; ci < chi; ci++ {
+			r := chunkRNG(seed, ci)
+			lo, hi := ci*chunk, (ci+1)*chunk
+			if hi > m {
+				hi = m
+			}
+			for i := lo; i < hi; i++ {
+				edges[i] = graph.Edge{U: r.uint32n(uint32(n)), V: r.uint32n(uint32(n))}
+			}
+		}
+	})
+	return edges, nil
+}
+
+// ErdosRenyi generates a simple undirected G(n, m) graph. With m/n above
+// the ~0.5 percolation threshold the graph has a giant component but a flat
+// (binomial) degree distribution — a useful contrast to RMAT when isolating
+// the effect of degree skew.
+func ErdosRenyi(n, m int, seed uint64) (*graph.Graph, error) {
+	edges, err := ErdosRenyiEdges(n, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return build(edges, n)
+}

@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"thriftylp/graph"
+)
+
+// This file provides small deterministic graphs used by tests, examples and
+// the Fig 2 walkthrough: classic shapes whose component structure is known
+// in closed form.
+
+// Path returns the path graph 0-1-2-…-(n-1).
+func Path(n int) (*graph.Graph, error) {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: uint32(v - 1), V: uint32(v)})
+	}
+	return build(edges, n)
+}
+
+// Cycle returns the cycle graph on n vertices.
+func Cycle(n int) (*graph.Graph, error) {
+	edges := make([]graph.Edge, 0, n)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: uint32(v - 1), V: uint32(v)})
+	}
+	if n > 2 {
+		edges = append(edges, graph.Edge{U: uint32(n - 1), V: 0})
+	}
+	return build(edges, n)
+}
+
+// Star returns the star graph: vertex 0 connected to vertices 1..n-1. This
+// is the most extreme skewed-degree graph and the best case for Zero
+// Planting (the hub is the max-degree vertex).
+func Star(n int) (*graph.Graph, error) {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint32(v)})
+	}
+	return build(edges, n)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*graph.Graph, error) {
+	edges := make([]graph.Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+	}
+	return build(edges, n)
+}
+
+// Empty returns n isolated vertices.
+func Empty(n int) (*graph.Graph, error) {
+	return graph.BuildUndirected(nil, graph.WithNumVertices(n))
+}
+
+// PaperFigure2 returns a small example graph in the spirit of Figure 2 of
+// the Thrifty paper, used to illustrate repeated wavefronts: a fringe path
+// A-B-C feeding a dense core around a hub. Vertices are A=0, B=1, C=2, D=3,
+// E=4, F=5, G=6; vertex E (the core hub) has the unique highest degree, so
+// Zero Planting selects it.
+func PaperFigure2() (*graph.Graph, error) {
+	edges := []graph.Edge{
+		{U: 0, V: 1}, // A-B fringe
+		{U: 1, V: 2}, // B-C
+		{U: 2, V: 3}, // C-D
+		{U: 2, V: 4}, // C-E
+		{U: 3, V: 4}, // D-E
+		{U: 3, V: 5}, // D-F
+		{U: 4, V: 5}, // E-F
+		{U: 4, V: 6}, // E-G
+	}
+	return build(edges, 7)
+}
+
+// Components returns a graph of k disjoint cliques of the given size each:
+// a fixture with exactly k components (size > 1) for component-census tests.
+func Components(k, size int) (*graph.Graph, error) {
+	var edges []graph.Edge
+	for c := 0; c < k; c++ {
+		base := uint32(c * size)
+		for u := 0; u < size; u++ {
+			for v := u + 1; v < size; v++ {
+				edges = append(edges, graph.Edge{U: base + uint32(u), V: base + uint32(v)})
+			}
+		}
+	}
+	return build(edges, k*size)
+}
+
+// Islands generates k small ER islands of the given vertex count each,
+// for composing with DisjointUnion into datasets with a controlled
+// component census (like LiveJournal's 4,945 components in Table II).
+func Islands(k, size int, seed uint64) (*graph.Graph, error) {
+	gs := make([]*graph.Graph, 0, k)
+	for c := 0; c < k; c++ {
+		// 2×size edges keeps each island connected with high probability.
+		g, err := ErdosRenyi(size, 2*size, seed+uint64(c)*7919)
+		if err != nil {
+			return nil, err
+		}
+		gs = append(gs, g)
+	}
+	return DisjointUnion(gs...)
+}

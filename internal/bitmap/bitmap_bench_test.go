@@ -1,0 +1,67 @@
+package bitmap
+
+import "testing"
+
+func BenchmarkSet(b *testing.B) {
+	bm := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Set(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkSetAtomic(b *testing.B) {
+	bm := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.SetAtomic(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkSetAtomicParallel(b *testing.B) {
+	bm := New(1 << 20)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			bm.SetAtomic(i & (1<<20 - 1))
+			i += 61 // stride to spread contention
+		}
+	})
+}
+
+func BenchmarkCount(b *testing.B) {
+	bm := New(1 << 20)
+	for i := 0; i < 1<<20; i += 3 {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bm.Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkForEachSparse(b *testing.B) {
+	bm := New(1 << 20)
+	for i := 0; i < 1<<20; i += 1024 {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		bm.ForEach(func(int) { n++ })
+		if n == 0 {
+			b.Fatal("none")
+		}
+	}
+}
+
+func BenchmarkReset(b *testing.B) {
+	bm := New(1 << 20)
+	bm.SetAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Reset()
+	}
+}

@@ -1,0 +1,194 @@
+package bitmap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(200)
+	if b.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set on fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestSetAllAndReset(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		b := New(n)
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Fatalf("n=%d: Count after SetAll = %d", n, got)
+		}
+		if b.Any() != (n > 0) {
+			t.Fatalf("n=%d: Any = %v", n, b.Any())
+		}
+		b.Reset()
+		if b.Count() != 0 || b.Any() {
+			t.Fatalf("n=%d: bits remain after Reset", n)
+		}
+	}
+}
+
+func TestSetAtomicReportsChange(t *testing.T) {
+	b := New(100)
+	if !b.SetAtomic(42) {
+		t.Fatal("first SetAtomic returned false")
+	}
+	if b.SetAtomic(42) {
+		t.Fatal("second SetAtomic returned true")
+	}
+	if !b.GetAtomic(42) {
+		t.Fatal("GetAtomic false after SetAtomic")
+	}
+}
+
+// TestSetAtomicConcurrent checks that exactly one concurrent setter wins
+// each bit and that all set bits survive.
+func TestSetAtomicConcurrent(t *testing.T) {
+	const n = 1 << 14
+	const workers = 8
+	b := New(n)
+	wins := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if b.SetAtomic(i) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range wins {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("total wins = %d, want %d (each bit won exactly once)", total, n)
+	}
+	if b.Count() != n {
+		t.Fatalf("Count = %d, want %d", b.Count(), n)
+	}
+}
+
+func TestForEachAndAppendTo(t *testing.T) {
+	b := New(300)
+	want := []int{0, 5, 63, 64, 100, 255, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	ids := b.AppendTo(nil)
+	for i := range want {
+		if int(ids[i]) != want[i] {
+			t.Fatalf("AppendTo: ids[%d] = %d, want %d", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestSwapAndClone(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(3)
+	b.Set(99)
+	a.Swap(b)
+	if !a.Get(99) || !b.Get(3) || a.Get(3) || b.Get(99) {
+		t.Fatal("Swap did not exchange contents")
+	}
+	c := a.Clone()
+	a.Set(5)
+	if c.Get(5) {
+		t.Fatal("Clone aliases original")
+	}
+	if !c.Get(99) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	b.Set(2)
+	b.Set(1)
+	a.Union(b)
+	if !a.Get(1) || !a.Get(2) || a.Count() != 2 {
+		t.Fatal("Union incorrect")
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	b := New(256)
+	for i := 0; i < 256; i += 3 {
+		b.Set(i)
+	}
+	for _, tc := range []struct{ lo, hi int }{
+		{0, 0}, {0, 256}, {1, 255}, {63, 65}, {64, 128}, {100, 101}, {0, 64},
+	} {
+		want := 0
+		for i := tc.lo; i < tc.hi; i++ {
+			if b.Get(i) {
+				want++
+			}
+		}
+		if got := b.CountRange(tc.lo, tc.hi); got != want {
+			t.Fatalf("CountRange(%d,%d) = %d, want %d", tc.lo, tc.hi, got, want)
+		}
+	}
+}
+
+// TestQuickCountMatchesNaive is a property test: Count equals the number of
+// distinct indices set, for arbitrary index sets.
+func TestQuickCountMatchesNaive(t *testing.T) {
+	f := func(idx []uint16) bool {
+		b := New(1 << 16)
+		distinct := map[uint16]bool{}
+		for _, i := range idx {
+			b.Set(int(i))
+			distinct[i] = true
+		}
+		return b.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchedSizesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Swap of different sizes did not panic")
+		}
+	}()
+	New(10).Swap(New(11))
+}

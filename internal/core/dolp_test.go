@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"thriftylp/graph/gen"
+	"thriftylp/internal/bitmap"
+	"thriftylp/internal/counters"
+	"thriftylp/internal/parallel"
+)
+
+// TestDOLPStartsDense: Algorithm 1 initializes the frontier to all
+// vertices, so iteration 0 must be a pull at density >= 1.
+func TestDOLPStartsDense(t *testing.T) {
+	g := mustGraph(gen.RMAT(gen.DefaultRMAT(10, 8, 1)))
+	tr := &counters.Trace{}
+	DOLP(g, Config{Trace: tr})
+	if tr.Iters[0].Kind != counters.KindPull {
+		t.Fatalf("iteration 0 kind = %s", tr.Iters[0].Kind)
+	}
+	if tr.Iters[0].Density < 1 {
+		t.Fatalf("iteration 0 density = %v, want >= 1 (all vertices + all edges active)", tr.Iters[0].Density)
+	}
+	if tr.Iters[0].Active != int64(g.NumVertices()) {
+		t.Fatalf("iteration 0 active = %d, want |V|", tr.Iters[0].Active)
+	}
+}
+
+// TestDOLPSwitchesToPushWhenSparse: once the frontier shrinks below the
+// threshold the traversal must flip to push.
+func TestDOLPSwitchesToPushWhenSparse(t *testing.T) {
+	// A long path keeps exactly 1-2 active vertices after the wave passes.
+	g := mustGraph(gen.Path(2000))
+	tr := &counters.Trace{}
+	DOLP(g, Config{Trace: tr})
+	sawPush := false
+	for i, it := range tr.Iters {
+		if it.Kind == counters.KindPush {
+			sawPush = true
+			if it.Density >= DefaultDOLPThreshold {
+				t.Fatalf("iteration %d pushed at density %v", i, it.Density)
+			}
+		}
+	}
+	if !sawPush {
+		t.Fatal("path graph never triggered a push iteration")
+	}
+}
+
+// TestDOLPThresholdRespected: the direction rule is "push when density <
+// threshold". A threshold above any possible density ((|V|+|E|)/|E| < 10)
+// forces all-push; a threshold of 0 forces all-pull. Both must still be
+// correct.
+func TestDOLPThresholdRespected(t *testing.T) {
+	g := mustGraph(gen.RMAT(gen.DefaultRMAT(10, 8, 2)))
+	rAllPush := DOLP(g, Config{Threshold: 10})
+	if rAllPush.PullIterations != 0 {
+		t.Fatalf("threshold 10 produced %d pull iterations", rAllPush.PullIterations)
+	}
+	rAllPull := DOLP(g, Config{Threshold: 1e-300})
+	if rAllPull.PushIterations != 0 {
+		t.Fatalf("threshold ~0 produced %d push iterations", rAllPull.PushIterations)
+	}
+	if !Equivalent(rAllPull.Labels, rAllPush.Labels) {
+		t.Fatal("threshold changed the partition")
+	}
+}
+
+// TestFrontierStateCountsAndExtract exercises the dense-frontier helper.
+func TestFrontierStateCountsAndExtract(t *testing.T) {
+	g := mustGraph(gen.Star(64))
+	pool := parallel.Default()
+	f := frontierState{bm: bitmap.New(g.NumVertices())}
+	f.bm.Set(0)
+	f.bm.Set(5)
+	f.bm.Set(63)
+	f.recount(pool, g)
+	if f.activeV != 3 {
+		t.Fatalf("activeV = %d", f.activeV)
+	}
+	// Vertex 0 is the hub with degree 63; 5 and 63 are leaves of degree 1.
+	if f.activeE != 65 {
+		t.Fatalf("activeE = %d", f.activeE)
+	}
+	got := f.extract(pool)
+	if len(got) != 3 {
+		t.Fatalf("extract returned %v", got)
+	}
+	seen := map[uint32]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	if !seen[0] || !seen[5] || !seen[63] {
+		t.Fatalf("extract contents wrong: %v", got)
+	}
+	if d := f.density(g); d <= 0 {
+		t.Fatalf("density = %v", d)
+	}
+}
+
+// TestTable5InvariantAcrossSuite: Thrifty never needs more iterations than
+// DO-LP on skewed graphs (the Table V claim).
+func TestTable5InvariantAcrossSuite(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		g := mustGraph(gen.RMAT(gen.DefaultRMAT(12, 12, seed)))
+		rd := DOLP(g, Config{})
+		rt := Thrifty(g, Config{})
+		if rt.Iterations > rd.Iterations {
+			t.Fatalf("seed %d: Thrifty %d iterations > DO-LP %d", seed, rt.Iterations, rd.Iterations)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"thriftylp/graph"
+	"thriftylp/internal/parallel"
+)
+
+// LP is the textbook synchronous Label Propagation CC (§II): every vertex,
+// every iteration, takes the minimum of its own and its neighbours' labels
+// from the previous iteration's array, until a fixed point. It has no
+// frontier, no direction optimization and no convergence shortcuts — it is
+// the semantic reference the optimized variants are validated against, and
+// the zero line for measuring what DO-LP's frontier machinery buys.
+func LP(g *graph.Graph, cfg Config) Result {
+	pool := cfg.pool()
+	n := g.NumVertices()
+	oldLbs := make([]uint32, n)
+	newLbs := make([]uint32, n)
+	parallel.Fill(pool, oldLbs, func(i int) uint32 { return uint32(i) })
+	parallel.Copy(pool, newLbs, oldLbs)
+	sch := newScheduler(g, cfg, pool)
+
+	iters := 0
+	maxIters := cfg.maxIters(n)
+	for iters < maxIters {
+		var changed int64
+		sch.sweep(func(tid, lo, hi int) {
+			var local int64
+			var ck chunkCounts
+			for v := lo; v < hi; v++ {
+				ck.visits++
+				newLabel := oldLbs[v]
+				ck.loads++
+				for _, u := range g.Neighbors(uint32(v)) {
+					ck.edges++
+					ck.loads++
+					ck.branches++
+					if l := oldLbs[u]; l < newLabel {
+						newLabel = l
+					}
+				}
+				ck.branches++
+				if newLabel < oldLbs[v] {
+					newLbs[v] = newLabel
+					ck.stores++
+					local++
+				}
+			}
+			ck.flush(cfg.Ctr, tid)
+			if local > 0 {
+				atomic.AddInt64(&changed, local)
+			}
+		})
+		iters++
+		if changed == 0 {
+			break
+		}
+		parallel.Copy(pool, oldLbs, newLbs)
+	}
+	return Result{Labels: newLbs, Iterations: iters, PullIterations: iters}
+}

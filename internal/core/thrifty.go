@@ -1,0 +1,295 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"thriftylp/graph"
+	"thriftylp/internal/atomicx"
+	"thriftylp/internal/counters"
+	"thriftylp/internal/parallel"
+	"thriftylp/internal/worklist"
+)
+
+// Thrifty is the paper's contribution (Algorithm 2): Label Propagation CC
+// with four structure-aware optimizations for skewed-degree graphs.
+//
+//  1. Unified Labels Array — one labels array; updates are visible within
+//     the iteration that computes them, and the per-iteration labels
+//     synchronization pass of DO-LP disappears (§IV-A).
+//  2. Zero Convergence — labels only move downward and 0 is the global
+//     minimum, so a vertex holding 0 has converged: pull skips it, and the
+//     neighbour scan aborts the moment it sees a 0 (§IV-B).
+//  3. Zero Planting — labels are v+1 and the reserved label 0 is planted on
+//     the maximum-degree vertex, which in a skewed graph is almost surely a
+//     hub of the giant component (§IV-C).
+//  4. Initial Push — iteration 0 pushes the planted 0 one hop from the hub
+//     instead of running a full pull over all edges (§IV-D).
+//
+// Implementation details follow §IV-E: a 1% push/pull density threshold;
+// pull iterations that only count active vertices; one Pull-Frontier
+// iteration to materialize a detailed frontier when switching to push; and
+// sparse frontiers held in per-thread worklists with a shared mark array
+// and chunked work stealing.
+func Thrifty(g *graph.Graph, cfg Config) Result {
+	pool := cfg.pool()
+	n := g.NumVertices()
+	if n == 0 {
+		return Result{Labels: []uint32{}}
+	}
+	threshold := cfg.threshold(DefaultThriftyThreshold)
+	m := g.NumDirectedEdges()
+	if m == 0 {
+		m = 1 // keep the density ratio finite on edgeless graphs
+	}
+	labels := make([]uint32, n)
+
+	// --- Zero Planting (Algorithm 2 lines 2-9) ---
+	// labels[v] = v+1 with a per-thread max-degree reduction, then the
+	// max-degree vertex receives the reserved label 0.
+	parallel.Fill(pool, labels, func(i int) uint32 { return uint32(i) + 1 })
+	maxV := uint32(parallel.MaxIndex(pool, n, func(i int) int64 {
+		return int64(g.Degree(uint32(i)))
+	}))
+	if cfg.PlantVertexSet {
+		// Ablation/override: plant at a caller-chosen vertex instead of
+		// the max-degree heuristic.
+		maxV = cfg.PlantVertex
+	}
+	labels[maxV] = 0
+
+	threads := pool.Threads()
+	cur := worklist.New(n, threads)
+	next := worklist.New(n, threads)
+	sch := newScheduler(g, cfg, pool)
+
+	res := Result{}
+	maxIters := cfg.maxIters(n)
+
+	// record wraps trace emission; zero counting is only paid when tracing.
+	record := func(start time.Time, kind counters.IterKind, active, changed, edges int64, density float64) {
+		if !cfg.Trace.Enabled() {
+			return
+		}
+		cfg.Trace.Record(counters.IterRecord{
+			Index:    res.Iterations - 1,
+			Kind:     kind,
+			Active:   active,
+			Changed:  changed,
+			Zero:     countZeros(pool, labels),
+			Edges:    edges,
+			Density:  density,
+			Duration: time.Since(start),
+		}, labels)
+	}
+
+	// --- Initial Push (Algorithm 2 lines 11-12) ---
+	// One push iteration propagating the planted 0 from the hub to its
+	// neighbours. This is iteration 0 and is counted as an iteration (§V-C).
+	var activeV, activeE int64
+	if cfg.NoInitialPush {
+		// Ablation: start the way DO-LP does — everything active, forcing
+		// a full first pull (Table VI measures what this costs).
+		activeV, activeE = int64(n), m
+	} else {
+		start := time.Now()
+		ebefore := cfg.Ctr.Total(counters.EdgesProcessed)
+		cur.AddUnchecked(0, maxV)
+		var av, ae int64
+		pool.Run(func(tid int) {
+			var localV, localE int64
+			var ck chunkCounts
+			cur.Drain(tid, func(v uint32) {
+				ck.visits++
+				lv := atomicx.LoadUint32(&labels[v])
+				ck.loads++
+				for _, u := range g.Neighbors(v) {
+					ck.edges++
+					ck.cas++
+					ck.branches++
+					cfg.Lines.Touch(u)
+					if atomicx.MinUint32(&labels[u], lv) {
+						ck.stores++
+						wasNew := !next.Contains(u)
+						next.Add(tid, u)
+						if wasNew {
+							localV++
+							localE += int64(g.Degree(u))
+						}
+					}
+				}
+			})
+			ck.flush(cfg.Ctr, tid)
+			atomic.AddInt64(&av, localV)
+			atomic.AddInt64(&ae, localE)
+		})
+		activeV, activeE = av, ae
+		cur, next = next, cur
+		next.Reset()
+		cfg.Lines.FlushIteration(cfg.Ctr, 0)
+		res.Iterations++
+		res.PushIterations++
+		record(start, counters.KindInitialPush, 1, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, 0)
+	}
+
+	// cur now holds the detailed frontier produced by the initial push
+	// (unless the ablation skipped it).
+	haveFrontier := !cfg.NoInitialPush
+	// Iteration 1 is always a full pull with Zero Convergence (§IV-D,
+	// Table VI): besides being the efficient choice after one hop of zero
+	// propagation, the first pull is what guarantees every vertex —
+	// including those in components other than the giant — is compared
+	// with its neighbours at least once, which push-only propagation from
+	// the planted hub would not do.
+	didPull := false
+
+	// The loop is the paper's do-while (Algorithm 2 runs at least one
+	// iteration after the initial push): even if the push changed nothing —
+	// e.g. the planted hub's only edges are self-loops — the first pull
+	// must still run, or vertices in other components would never be
+	// compared with their neighbours.
+	for (activeV > 0 || !didPull) && res.Iterations < maxIters {
+		start := time.Now()
+		ebefore := cfg.Ctr.Total(counters.EdgesProcessed)
+		density := float64(activeV+activeE) / float64(m)
+		activeAtStart := activeV
+
+		switch {
+		case didPull && density < threshold && haveFrontier:
+			// --- Push traversal over the detailed sparse frontier ---
+			activeV, activeE = thriftyPush(g, cfg, pool, labels, cur, next)
+			cur, next = next, cur
+			next.Reset()
+			res.Iterations++
+			res.PushIterations++
+			cfg.Lines.FlushIteration(cfg.Ctr, 0)
+			record(start, counters.KindPush, activeAtStart, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, density)
+
+		case didPull && density < threshold && !haveFrontier:
+			// --- Pull-Frontier: the bridge iteration (§IV-E) --- the last
+			// dense-style pull, which additionally records which vertices
+			// became active so the following push iterations have a
+			// worklist to consume.
+			cur.Reset()
+			activeV, activeE = thriftyPull(g, cfg, sch, labels, cur, true)
+			haveFrontier = true
+			res.Iterations++
+			res.PullIterations++
+			cfg.Lines.FlushIteration(cfg.Ctr, 0)
+			record(start, counters.KindPullFrontier, activeAtStart, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, density)
+
+		default:
+			// --- Pull traversal with Zero Convergence, counting only ---
+			// (under the EagerFrontier ablation every pull also records the
+			// detailed frontier, paying the insertion cost the paper's
+			// counting-only design avoids).
+			if cfg.EagerFrontier {
+				cur.Reset()
+				activeV, activeE = thriftyPull(g, cfg, sch, labels, cur, true)
+				haveFrontier = true
+			} else {
+				activeV, activeE = thriftyPull(g, cfg, sch, labels, nil, false)
+				haveFrontier = false
+			}
+			didPull = true
+			res.Iterations++
+			res.PullIterations++
+			cfg.Lines.FlushIteration(cfg.Ctr, 0)
+			record(start, counters.KindPull, activeAtStart, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, density)
+		}
+	}
+
+	res.Labels = labels
+	return res
+}
+
+// thriftyPush runs one push iteration: each frontier vertex propagates its
+// current label to its neighbours with atomic-min, collecting lowered
+// neighbours into next. Returns the new frontier's vertex count and degree
+// sum. Frontier consumption uses chunked work stealing (own list first,
+// then other threads' lists), and a racing duplicate insertion — permitted
+// by the mark array's non-CAS discipline — at worst processes a vertex
+// twice, which is harmless because labels only decrease.
+func thriftyPush(g *graph.Graph, cfg Config, pool *parallel.Pool, labels []uint32, cur, next *worklist.Set) (int64, int64) {
+	var av, ae int64
+	pool.Run(func(tid int) {
+		var localV, localE int64
+		var ck chunkCounts
+		cur.Drain(tid, func(v uint32) {
+			ck.visits++
+			lv := atomicx.LoadUint32(&labels[v])
+			ck.loads++
+			for _, u := range g.Neighbors(v) {
+				ck.edges++
+				ck.cas++
+				ck.branches++
+				cfg.Lines.Touch(u)
+				if atomicx.MinUint32(&labels[u], lv) {
+					ck.stores++
+					wasNew := !next.Contains(u)
+					next.Add(tid, u)
+					if wasNew {
+						localV++
+						localE += int64(g.Degree(u))
+					}
+				}
+			}
+		})
+		ck.flush(cfg.Ctr, tid)
+		atomic.AddInt64(&av, localV)
+		atomic.AddInt64(&ae, localE)
+	})
+	return av, ae
+}
+
+// thriftyPull runs one pull iteration with Zero Convergence (Algorithm 2
+// lines 22-34): converged (label 0) vertices are skipped outright, and a
+// neighbour scan stops the instant it observes a 0, since no smaller label
+// exists. When recordFrontier is set (the Pull-Frontier bridge iteration),
+// changed vertices are also inserted into fr. Returns the changed-vertex
+// count and degree sum, which drive the next direction decision.
+func thriftyPull(g *graph.Graph, cfg Config, sch *scheduler, labels []uint32, fr *worklist.Set, recordFrontier bool) (int64, int64) {
+	var av, ae int64
+	sch.sweep(func(tid, lo, hi int) {
+		var localV, localE int64
+		var ck chunkCounts
+		for v := lo; v < hi; v++ {
+			ck.visits++
+			ck.branches++
+			own := atomicx.LoadUint32(&labels[v])
+			ck.loads++
+			cfg.Lines.Touch(uint32(v))
+			if own == 0 {
+				continue // Zero Convergence: v has converged (line 24)
+			}
+			newLabel := own
+			for _, u := range g.Neighbors(uint32(v)) {
+				ck.edges++
+				ck.loads++
+				ck.branches++
+				cfg.Lines.Touch(u)
+				if l := atomicx.LoadUint32(&labels[u]); l < newLabel {
+					newLabel = l
+					ck.branches++
+					if newLabel == 0 {
+						break // Zero Convergence: nothing smaller exists (line 31)
+					}
+				}
+			}
+			ck.branches++
+			if newLabel < own {
+				atomicx.StoreUint32(&labels[uint32(v)], newLabel)
+				ck.stores++
+				localV++
+				localE += int64(g.Degree(uint32(v)))
+				if recordFrontier {
+					fr.Add(tid, uint32(v))
+				}
+			}
+		}
+		ck.flush(cfg.Ctr, tid)
+		atomic.AddInt64(&av, localV)
+		atomic.AddInt64(&ae, localE)
+	})
+	return av, ae
+}

@@ -1,0 +1,78 @@
+package counters
+
+import "time"
+
+// IterKind classifies one iteration of a label-propagation run.
+type IterKind string
+
+// Iteration kinds. InitialPush is Thrifty's iteration 0 (§IV-D);
+// PullFrontier is the pull iteration that additionally records a detailed
+// frontier just before switching to push traversal (§IV-E).
+const (
+	KindPull         IterKind = "pull"
+	KindPush         IterKind = "push"
+	KindPullFrontier IterKind = "pull-frontier"
+	KindInitialPush  IterKind = "initial-push"
+)
+
+// IterRecord is the per-iteration telemetry row used to regenerate Fig 3,
+// Fig 7/8, Table VI and Table VII.
+type IterRecord struct {
+	Index    int           // iteration number, counting the initial push as 0
+	Kind     IterKind      // traversal direction chosen
+	Active   int64         // active vertices at iteration start (frontier size)
+	Changed  int64         // vertices whose label changed this iteration
+	Zero     int64         // vertices holding label 0 at iteration end
+	Edges    int64         // edges processed during this iteration
+	Density  float64       // (|F.V|+|F.E|)/|E| density that drove the direction choice
+	Duration time.Duration // wall time of the iteration
+}
+
+// Trace collects per-iteration records of one algorithm run. A nil *Trace is
+// valid; all methods no-op. If OnIteration is set it is invoked at the end
+// of every iteration with the record and the labels array as it stands at
+// that moment; the harness uses this to compute converged-to-final
+// percentages against an oracle (Fig 3 / Fig 7). The callback must not
+// retain or mutate labels.
+type Trace struct {
+	Iters       []IterRecord
+	OnIteration func(rec IterRecord, labels []uint32)
+}
+
+// Record appends rec and fires the callback.
+func (t *Trace) Record(rec IterRecord, labels []uint32) {
+	if t == nil {
+		return
+	}
+	t.Iters = append(t.Iters, rec)
+	if t.OnIteration != nil {
+		t.OnIteration(rec, labels)
+	}
+}
+
+// Enabled reports whether t collects records.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Total sums fn over all recorded iterations.
+func (t *Trace) Total(fn func(IterRecord) int64) int64 {
+	if t == nil {
+		return 0
+	}
+	var s int64
+	for _, r := range t.Iters {
+		s += fn(r)
+	}
+	return s
+}
+
+// TotalDuration returns the summed iteration wall time.
+func (t *Trace) TotalDuration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	var d time.Duration
+	for _, r := range t.Iters {
+		d += r.Duration
+	}
+	return d
+}

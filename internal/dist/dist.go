@@ -1,0 +1,296 @@
+// Package dist simulates distributed-memory connected components, the
+// paper's §VII future-work direction and the argument behind its framing:
+// "Disjoint Set algorithms ... do not scale to distributed memory systems
+// [while] the SpMV model of the Label Propagation algorithm allows
+// successful scaling in distributed systems" (§V-B).
+//
+// The simulation is a BSP (Pregel-style) cluster: each worker goroutine
+// owns a contiguous, edge-balanced vertex partition with a private label
+// array. Within a superstep a worker applies label updates along its local
+// edges directly and turns updates along cut edges into messages, combined
+// per destination vertex with MIN (the standard combiner). A barrier
+// delivers messages, targets apply them, and changed vertices form the next
+// superstep's active set. No shared mutable state crosses partitions except
+// the message channels — exactly the constraint a real distributed memory
+// system imposes, which is what makes per-superstep message counts an
+// honest network-traffic proxy.
+//
+// Two modes reproduce the paper's comparison on this substrate:
+//
+//   - plain LP: unique initial labels, every vertex initially active;
+//   - Thrifty mode: Zero Planting on the max-degree vertex, the Initial
+//     Push as superstep 0, and Zero Convergence (converged owners neither
+//     scan nor transmit).
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"thriftylp/graph"
+	"thriftylp/internal/parallel"
+)
+
+// Config parameterizes a simulated cluster run.
+type Config struct {
+	// Workers is the number of simulated machines (default 4).
+	Workers int
+	// Thrifty enables Zero Planting + Initial Push + Zero Convergence.
+	Thrifty bool
+	// KLevels is the KLA asynchrony depth (Harshvardhan et al.; the model
+	// the paper's §VII plans to port Thrifty to): within one superstep each
+	// worker chases its own updates for up to K local rounds before the
+	// global exchange. 0 or 1 is plain BSP; larger K trades local work for
+	// fewer supersteps (i.e., fewer global synchronizations — the
+	// distributed latency driver).
+	KLevels int
+	// MaxSupersteps is a safety cap; 0 means 2·|V|+16.
+	MaxSupersteps int
+}
+
+// Result reports the outcome and the distributed cost model.
+type Result struct {
+	// Labels is the final component labelling (same semantics as the
+	// shared-memory algorithms: Thrifty mode converges the giant component
+	// to 0, plain mode to minimum vertex id).
+	Labels []uint32
+	// Supersteps is the number of BSP supersteps executed.
+	Supersteps int
+	// MessagesSent counts combined (destination, label) messages that
+	// crossed partition boundaries — the network traffic proxy.
+	MessagesSent int64
+	// EdgeScans counts local adjacency traversals — the compute proxy.
+	EdgeScans int64
+}
+
+// message is one combined cross-partition label update.
+type message struct {
+	dst   uint32
+	label uint32
+}
+
+// worker is one simulated machine.
+type worker struct {
+	id       int
+	lo, hi   uint32 // owned vertex range [lo, hi)
+	labels   []uint32
+	active   []uint32 // owned vertices active this superstep
+	inbox    []message
+	outboxes []map[uint32]uint32 // per-destination-worker min-combiner
+}
+
+// Run executes the simulated cluster CC on g.
+func Run(g *graph.Graph, cfg Config) Result {
+	n := g.NumVertices()
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Workers > n && n > 0 {
+		cfg.Workers = n
+	}
+	maxSteps := cfg.MaxSupersteps
+	if maxSteps == 0 {
+		maxSteps = 2*n + 16
+	}
+	res := Result{Labels: make([]uint32, n)}
+	if n == 0 {
+		return res
+	}
+
+	parts := parallel.PartitionEdges(g.Offsets(), cfg.Workers)
+	owner := make([]int, n)
+	workers := make([]*worker, cfg.Workers)
+	for w := range workers {
+		lo, hi := parts[w].Lo, parts[w].Hi
+		wk := &worker{id: w, lo: lo, hi: hi, labels: make([]uint32, hi-lo)}
+		for v := lo; v < hi; v++ {
+			owner[v] = w
+			if cfg.Thrifty {
+				wk.labels[v-lo] = v + 1
+			} else {
+				wk.labels[v-lo] = v
+			}
+		}
+		workers[w] = wk
+	}
+
+	// Initial activity: Zero Planting + Initial Push seed only the hub in
+	// Thrifty mode; plain LP activates everyone.
+	if cfg.Thrifty {
+		hub := g.MaxDegreeVertex()
+		hw := workers[owner[hub]]
+		hw.labels[hub-hw.lo] = 0
+		hw.active = append(hw.active, hub)
+	} else {
+		for _, wk := range workers {
+			for v := wk.lo; v < wk.hi; v++ {
+				wk.active = append(wk.active, v)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for steps := 0; steps < maxSteps; steps++ {
+		anyActive := false
+		for _, wk := range workers {
+			if len(wk.active) > 0 || len(wk.inbox) > 0 {
+				anyActive = true
+				break
+			}
+		}
+		// Thrifty mode must reach the bootstrap superstep even when the
+		// hub's push activated nothing (e.g. a self-loop-only hub) — the
+		// same do-while guarantee as the shared-memory algorithm.
+		if !anyActive && !(cfg.Thrifty && res.Supersteps < 2) {
+			break
+		}
+		res.Supersteps++
+
+		// Thrifty's bootstrap: superstep 0 pushed the planted 0 from the
+		// hub only; superstep 1 activates every vertex once — the BSP
+		// equivalent of Algorithm 2's mandatory first pull, which is what
+		// guarantees vertices in components other than the giant are
+		// compared with their neighbours at least once.
+		if cfg.Thrifty && res.Supersteps == 2 {
+			for _, wk := range workers {
+				wk.active = wk.active[:0]
+				for v := wk.lo; v < wk.hi; v++ {
+					wk.active = append(wk.active, v)
+				}
+			}
+		}
+
+		// Compute phase: all workers in parallel, no shared writes.
+		for _, wk := range workers {
+			wk.outboxes = wk.outboxes[:0]
+			for range workers {
+				wk.outboxes = append(wk.outboxes, nil)
+			}
+		}
+		var scans, msgs int64
+		var mu sync.Mutex
+		for _, wk := range workers {
+			wg.Add(1)
+			go func(wk *worker) {
+				defer wg.Done()
+				s, m := wk.superstep(g, owner, cfg)
+				mu.Lock()
+				scans += s
+				msgs += m
+				mu.Unlock()
+			}(wk)
+		}
+		wg.Wait()
+		res.EdgeScans += scans
+		res.MessagesSent += msgs
+
+		// Communication phase: deliver combined outboxes into inboxes.
+		for _, dst := range workers {
+			dst.inbox = dst.inbox[:0]
+			for _, src := range workers {
+				for v, l := range src.outboxes[dst.id] {
+					dst.inbox = append(dst.inbox, message{dst: v, label: l})
+				}
+			}
+		}
+	}
+
+	for _, wk := range workers {
+		copy(res.Labels[wk.lo:wk.hi], wk.labels)
+	}
+	return res
+}
+
+// superstep runs one worker's compute phase: apply inbox, then propagate
+// from active vertices for up to KLevels local rounds (KLA) before the
+// global exchange. Returns (edge scans, combined messages emitted).
+func (wk *worker) superstep(g *graph.Graph, owner []int, cfg Config) (int64, int64) {
+	thrifty := cfg.Thrifty
+	kLevels := cfg.KLevels
+	if kLevels < 1 {
+		kLevels = 1
+	}
+
+	// Apply incoming messages; lowered targets join the active set.
+	newActive := wk.active[:0]
+	seen := make(map[uint32]bool, len(wk.inbox)+len(wk.active))
+	for _, v := range wk.active {
+		if !seen[v] {
+			seen[v] = true
+			newActive = append(newActive, v)
+		}
+	}
+	for _, m := range wk.inbox {
+		i := m.dst - wk.lo
+		if m.label < wk.labels[i] {
+			wk.labels[i] = m.label
+			if !seen[m.dst] {
+				seen[m.dst] = true
+				newActive = append(newActive, m.dst)
+			}
+		}
+	}
+
+	var scans, msgs int64
+	send := func(dst uint32, label uint32) {
+		w := owner[dst]
+		if wk.outboxes[w] == nil {
+			wk.outboxes[w] = make(map[uint32]uint32)
+		}
+		if cur, ok := wk.outboxes[w][dst]; !ok || label < cur {
+			wk.outboxes[w][dst] = label
+		}
+	}
+
+	// KLA rounds: round 0 processes the superstep's active set; each
+	// further round chases the locally-lowered vertices without waiting for
+	// the global barrier. Remote updates always go through the combiner.
+	frontier := newActive
+	var next []uint32
+	for round := 0; round < kLevels && len(frontier) > 0; round++ {
+		next = next[:0]
+		nextSeen := make(map[uint32]bool, len(frontier))
+		for _, v := range frontier {
+			lv := wk.labels[v-wk.lo]
+			for _, u := range g.Neighbors(v) {
+				scans++
+				if owner[u] == wk.id {
+					i := u - wk.lo
+					// Zero Convergence: a converged local target needs no work.
+					if thrifty && wk.labels[i] == 0 && lv != 0 {
+						continue
+					}
+					if lv < wk.labels[i] {
+						wk.labels[i] = lv
+						if !nextSeen[u] {
+							nextSeen[u] = true
+							next = append(next, u)
+						}
+					}
+				} else {
+					// Remote target: the combiner dedups per (worker, vertex).
+					send(u, lv)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	for _, ob := range wk.outboxes {
+		msgs += int64(len(ob))
+	}
+	// Whatever the last round activated carries into the next superstep.
+	wk.active = append(wk.active[:0], frontier...)
+	wk.inbox = wk.inbox[:0]
+	return scans, msgs
+}
+
+// Validate sanity-checks a Config.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("dist: negative worker count %d", c.Workers)
+	}
+	if c.MaxSupersteps < 0 {
+		return fmt.Errorf("dist: negative superstep cap %d", c.MaxSupersteps)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+	"thriftylp/internal/core"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestDistMatchesOracle(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat":    mustGraph(gen.RMAT(gen.DefaultRMAT(11, 8, 3))),
+		"cliques": mustGraph(gen.Components(5, 6)),
+		"path":    mustGraph(gen.Path(500)),
+		"star":    mustGraph(gen.Star(300)),
+		"web":     mustGraph(gen.Web(gen.WebConfig{CoreScale: 8, CoreEdgeFactor: 6, NumChains: 4, ChainLength: 32, Seed: 1})),
+		"empty":   mustGraph(gen.Empty(10)),
+		// Self-loop-only hub: the Thrifty-mode initial superstep activates
+		// nothing, so the bootstrap superstep must still fire (do-while
+		// regression).
+		"loophub": mustGraph(graph.BuildUndirected(
+			[]graph.Edge{{U: 0, V: 0}, {U: 1, V: 2}}, graph.WithNumVertices(4))),
+	}
+	for name, g := range graphs {
+		oracle := core.SeqCC(g)
+		for _, workers := range []int{1, 3, 8} {
+			for _, thrifty := range []bool{false, true} {
+				res := Run(g, Config{Workers: workers, Thrifty: thrifty})
+				if !core.Equivalent(res.Labels, oracle) {
+					t.Fatalf("%s workers=%d thrifty=%v: wrong partition (supersteps=%d)",
+						name, workers, thrifty, res.Supersteps)
+				}
+			}
+		}
+	}
+}
+
+func TestDistThriftyReducesMessages(t *testing.T) {
+	g := mustGraph(gen.RMAT(gen.DefaultRMAT(13, 16, 7)))
+	plain := Run(g, Config{Workers: 8, Thrifty: false})
+	thr := Run(g, Config{Workers: 8, Thrifty: true})
+	if thr.MessagesSent >= plain.MessagesSent {
+		t.Fatalf("thrifty mode sent %d messages vs plain %d — expected a reduction",
+			thr.MessagesSent, plain.MessagesSent)
+	}
+	if thr.EdgeScans >= plain.EdgeScans {
+		t.Fatalf("thrifty mode scanned %d edges vs plain %d", thr.EdgeScans, plain.EdgeScans)
+	}
+}
+
+func TestDistZeroPlantingLabels(t *testing.T) {
+	g := mustGraph(gen.RMAT(gen.DefaultRMAT(10, 8, 5)))
+	res := Run(g, Config{Workers: 4, Thrifty: true})
+	if res.Labels[g.MaxDegreeVertex()] != 0 {
+		t.Fatalf("hub label = %d", res.Labels[g.MaxDegreeVertex()])
+	}
+}
+
+func TestDistWorkerCountClamped(t *testing.T) {
+	g := mustGraph(gen.Path(3))
+	res := Run(g, Config{Workers: 100})
+	if !core.Equivalent(res.Labels, core.SeqCC(g)) {
+		t.Fatal("over-provisioned cluster wrong")
+	}
+}
+
+func TestDistEmptyGraph(t *testing.T) {
+	g := mustGraph(gen.Empty(0))
+	res := Run(g, Config{Workers: 4})
+	if len(res.Labels) != 0 || res.Supersteps != 0 {
+		t.Fatalf("empty graph: %+v", res)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{Workers: -1}).Validate() == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if (Config{MaxSupersteps: -1}).Validate() == nil {
+		t.Fatal("negative cap accepted")
+	}
+	if (Config{Workers: 4}).Validate() != nil {
+		t.Fatal("valid config rejected")
+	}
+}
+
+// TestKLAReducesSupersteps: raising the asynchrony depth must not increase
+// supersteps, and on a high-diameter graph it must strictly reduce them.
+func TestKLAReducesSupersteps(t *testing.T) {
+	g := mustGraph(gen.Path(2000))
+	oracle := core.SeqCC(g)
+	prev := -1
+	for _, k := range []int{1, 2, 4, 16} {
+		res := Run(g, Config{Workers: 4, KLevels: k})
+		if !core.Equivalent(res.Labels, oracle) {
+			t.Fatalf("k=%d: wrong partition", k)
+		}
+		if prev >= 0 && res.Supersteps > prev {
+			t.Fatalf("k=%d: supersteps rose to %d from %d", k, res.Supersteps, prev)
+		}
+		prev = res.Supersteps
+	}
+	bsp := Run(g, Config{Workers: 4, KLevels: 1})
+	kla := Run(g, Config{Workers: 4, KLevels: 16})
+	if kla.Supersteps >= bsp.Supersteps {
+		t.Fatalf("k=16 supersteps %d not below BSP's %d on a path", kla.Supersteps, bsp.Supersteps)
+	}
+}
+
+// TestKLAWithThriftyCorrect: the two extensions compose.
+func TestKLAWithThriftyCorrect(t *testing.T) {
+	g := mustGraph(gen.Web(gen.WebConfig{CoreScale: 8, CoreEdgeFactor: 6, NumChains: 4, ChainLength: 32, Seed: 3}))
+	oracle := core.SeqCC(g)
+	for _, k := range []int{1, 4, 8} {
+		res := Run(g, Config{Workers: 6, Thrifty: true, KLevels: k})
+		if !core.Equivalent(res.Labels, oracle) {
+			t.Fatalf("thrifty k=%d: wrong partition", k)
+		}
+	}
+}
+
+// TestQuickDistAgreesWithOracle: random multigraphs, both modes, random
+// cluster sizes.
+func TestQuickDistAgreesWithOracle(t *testing.T) {
+	f := func(raw []byte, workers, kLevels uint8, thrifty bool) bool {
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: uint32(raw[i] % 64), V: uint32(raw[i+1] % 64)})
+		}
+		g, err := graph.BuildUndirected(edges, graph.WithNumVertices(64))
+		if err != nil {
+			return false
+		}
+		res := Run(g, Config{Workers: int(workers%7) + 1, Thrifty: thrifty, KLevels: int(kLevels % 5)})
+		return core.Equivalent(res.Labels, core.SeqCC(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"math"
+	"time"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+)
+
+// RunConfig carries experiment-wide settings.
+type RunConfig struct {
+	// Scale selects dataset sizes (default ScaleMedium).
+	Scale Scale
+	// Reps is the number of timed repetitions per measurement; the minimum
+	// is reported, the paper's convention for eliminating scheduler noise.
+	// Default 3.
+	Reps int
+	// Threads sizes the worker pool; 0 = GOMAXPROCS.
+	Threads int
+}
+
+func (c RunConfig) scale() Scale {
+	if c.Scale == "" {
+		return ScaleMedium
+	}
+	return c.Scale
+}
+
+func (c RunConfig) reps() int {
+	if c.Reps <= 0 {
+		return 3
+	}
+	return c.Reps
+}
+
+func (c RunConfig) opts(extra ...cc.Option) []cc.Option {
+	var opts []cc.Option
+	if c.Threads > 0 {
+		opts = append(opts, cc.WithThreads(c.Threads))
+	}
+	return append(opts, extra...)
+}
+
+// TimeAlgorithm measures algorithm a on g: one warmup run, then reps timed
+// runs, returning the minimum wall time and the last result.
+func TimeAlgorithm(a cc.Algorithm, g *graph.Graph, cfg RunConfig, extra ...cc.Option) (time.Duration, cc.Result, error) {
+	opts := cfg.opts(extra...)
+	res, err := cc.Run(a, g, opts...)
+	if err != nil {
+		return 0, cc.Result{}, err
+	}
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < cfg.reps(); i++ {
+		start := time.Now()
+		res, err = cc.Run(a, g, opts...)
+		if err != nil {
+			return 0, cc.Result{}, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, res, nil
+}
+
+// Millis renders a duration as fractional milliseconds, the paper's unit.
+func Millis(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// Geomean returns the geometric mean of vs (ignoring non-positive entries,
+// which would otherwise poison the logarithm).
+func Geomean(vs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, v := range vs {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"fmt"
+
+	"thriftylp/cc"
+	"thriftylp/internal/dist"
+	"thriftylp/internal/spmv"
+)
+
+// The experiments in this file go beyond the paper's evaluation section:
+// finer-grained ablations of Thrifty's design choices (DESIGN.md §4 calls
+// these out), the §VII future-work direction (distributed processing), and
+// a thread-scaling sweep replacing the paper's two-architecture comparison.
+
+// ExpAblations decomposes Thrifty's techniques one switch at a time, an
+// extension of Fig 9/10's two-way split: full Thrifty vs no-initial-push vs
+// structure-oblivious planting (vertex 0) vs eager frontier bookkeeping vs
+// the DO-LP endpoints.
+func ExpAblations(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "ablations",
+		Title:   "Per-technique ablation of Thrifty (ms; extension experiment)",
+		Columns: []string{"Dataset", "Thrifty", "no-initial-push", "plant-at-v0", "eager-frontier", "dynamic-sched", "DO-LP+Unified", "DO-LP"},
+		Notes: []string{
+			"Each column disables exactly one design choice; DO-LP+Unified and DO-LP are the Fig 9/10 endpoints.",
+		},
+	}
+	type variant struct {
+		algo cc.Algorithm
+		opts []cc.Option
+	}
+	variants := []variant{
+		{cc.AlgoThrifty, nil},
+		{cc.AlgoThrifty, []cc.Option{cc.WithoutInitialPush()}},
+		{cc.AlgoThrifty, []cc.Option{cc.WithPlantVertex(0)}},
+		{cc.AlgoThrifty, []cc.Option{cc.WithEagerPullFrontier()}},
+		{cc.AlgoThrifty, []cc.Option{cc.WithDynamicScheduling()}},
+		{cc.AlgoDOLPUnified, nil},
+		{cc.AlgoDOLP, nil},
+	}
+	for _, d := range SkewedSuite(cfg.scale()) {
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{d.Name}
+		for _, v := range variants {
+			dur, _, err := TimeAlgorithm(v.algo, g, cfg, v.opts...)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, Millis(dur))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ExpDistributed reproduces the paper's distributed-memory argument (§V-B,
+// §VII) on the simulated BSP cluster: supersteps and combined messages for
+// plain LP vs Thrifty-mode LP across cluster sizes.
+func ExpDistributed(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "dist",
+		Title:   "Simulated distributed CC: plain LP vs Thrifty-mode, BSP vs KLA (extension experiment)",
+		Columns: []string{"Dataset", "Workers", "Mode", "K", "Supersteps", "Messages", "EdgeScans"},
+		Notes: []string{
+			"BSP/Pregel simulation (internal/dist): messages are min-combined per destination; Thrifty mode = Zero Planting + Initial Push + Zero Convergence; K is the KLA asynchrony depth (§VII).",
+		},
+	}
+	d, err := FindDataset(cfg.scale(), "social-twitter")
+	if err != nil {
+		return nil, err
+	}
+	g, err := BuildCached(cfg.scale(), d)
+	if err != nil {
+		return nil, err
+	}
+	oracle := cc.Sequential(g)
+	for _, workers := range []int{2, 4, 8, 16} {
+		for _, thrifty := range []bool{false, true} {
+			res := dist.Run(g, dist.Config{Workers: workers, Thrifty: thrifty})
+			if !cc.Equivalent(res.Labels, oracle) {
+				return nil, fmt.Errorf("dist run workers=%d thrifty=%v wrong partition", workers, thrifty)
+			}
+			mode := "plain-lp"
+			if thrifty {
+				mode = "thrifty"
+			}
+			t.AddRow(d.Name, workers, mode, 1, res.Supersteps, res.MessagesSent, res.EdgeScans)
+		}
+	}
+	// KLA sweep on a high-diameter dataset, where cutting supersteps (each
+	// one a global synchronization) matters most.
+	dw, err := FindDataset(cfg.scale(), "web-uk")
+	if err != nil {
+		return nil, err
+	}
+	gw, err := BuildCached(cfg.scale(), dw)
+	if err != nil {
+		return nil, err
+	}
+	oracleW := cc.Sequential(gw)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		res := dist.Run(gw, dist.Config{Workers: 8, Thrifty: true, KLevels: k})
+		if !cc.Equivalent(res.Labels, oracleW) {
+			return nil, fmt.Errorf("dist KLA k=%d wrong partition", k)
+		}
+		t.AddRow(dw.Name, 8, "thrifty", k, res.Supersteps, res.MessagesSent, res.EdgeScans)
+	}
+	return t, nil
+}
+
+// ExpConnectIt fills the comparison the paper could not run (§VI: "We
+// attempted to evaluate ConnectIt but its code repository ... could not be
+// compiled"): Afforest vs two ConnectIt framework points vs Thrifty.
+func ExpConnectIt(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "connectit",
+		Title:   "ConnectIt-style sampling variants vs Afforest vs Thrifty (ms; extension)",
+		Columns: []string{"Dataset", "Afforest", "ConnectIt-kout", "ConnectIt-BFS", "Thrifty"},
+		Notes: []string{
+			"k-out and BFS sampling are two points of the ConnectIt framework; all union-find columns share the Afforest-style skip-the-giant finish.",
+		},
+	}
+	algos := []cc.Algorithm{cc.AlgoAfforest, cc.AlgoConnectItKOut, cc.AlgoConnectItBFS, cc.AlgoThrifty}
+	for _, d := range SkewedSuite(cfg.scale()) {
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{d.Name}
+		for _, a := range algos {
+			dur, _, err := TimeAlgorithm(a, g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, Millis(dur))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ExpAsync measures the §VII correspondence between the Unified Labels
+// Array and asynchronous execution on the generic SpMV engine
+// (internal/spmv): iterations of the synchronous (two-array) vs
+// asynchronous (unified-array) engine for CC and for BFS hop distance.
+func ExpAsync(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "async",
+		Title:   "Sync vs async min-propagation on the generic SpMV engine (iterations; extension)",
+		Columns: []string{"Dataset", "CC sync", "CC async", "BFS sync", "BFS async"},
+		Notes: []string{
+			"Async (unified array) lets values travel multiple hops per sweep; the iteration gap is the paper's unified-arrays ⇔ asynchronous-execution link (§VII).",
+		},
+	}
+	for _, d := range Suite(cfg.scale()) {
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		ccSync := spmv.CC(g, false)
+		ccAsync := spmv.CC(g, true)
+		root := g.MaxDegreeVertex()
+		bfsSync := spmv.HopDistance(g, root, false)
+		bfsAsync := spmv.HopDistance(g, root, true)
+		t.AddRow(d.Name, ccSync.Iterations, ccAsync.Iterations, bfsSync.Iterations, bfsAsync.Iterations)
+	}
+	return t, nil
+}
+
+// ExpScaling sweeps worker-pool sizes, the stand-in for the paper's
+// SkylakeX-vs-Epyc dimension: on a multicore host it shows each algorithm's
+// scalability; on a single-core host it shows the (small) overhead of
+// spawning idle workers.
+func ExpScaling(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "scaling",
+		Title:   "Thread scaling (ms; extension experiment replacing the 2-architecture comparison)",
+		Columns: []string{"Dataset", "Algorithm", "1 thread", "2", "4", "8"},
+		Notes: []string{
+			"The paper's cross-architecture claim is ranking stability; rankings here are work-driven and thread-count independent.",
+		},
+	}
+	threadCounts := []int{1, 2, 4, 8}
+	for _, name := range []string{"social-twitter", "road-gb"} {
+		d, err := FindDataset(cfg.scale(), name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range []cc.Algorithm{cc.AlgoThrifty, cc.AlgoAfforest, cc.AlgoDOLP} {
+			row := []interface{}{name, string(a)}
+			for _, tc := range threadCounts {
+				c2 := cfg
+				c2.Threads = tc
+				dur, _, err := TimeAlgorithm(a, g, c2)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, Millis(dur))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}

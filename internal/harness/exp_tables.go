@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"fmt"
+
+	"thriftylp/cc"
+	"thriftylp/graph/gen"
+	"thriftylp/internal/stats"
+)
+
+// Table1 reproduces Table I: the percentage of vertices in the component
+// containing the maximum-degree vertex — the measurement that justifies
+// Zero Planting (>94% on every power-law dataset in the paper).
+func Table1(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Percentage of vertices in the component containing the max-degree vertex",
+		Columns: []string{"Dataset", "Analog", "Power-Law", "Vertices%"},
+		Notes: []string{
+			"Paper: 94.5%-100% across all 15 power-law datasets (Table I).",
+		},
+	}
+	for _, d := range Suite(cfg.scale()) {
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		labels := cc.Sequential(g)
+		frac := stats.MaxDegreeComponentFraction(g, labels)
+		t.AddRow(d.Name, d.Analog, yesNo(d.PowerLaw), fmt.Sprintf("%.1f", frac))
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table II: the dataset inventory with vertex count, edge
+// count, component census, and the power-law classification (measured, not
+// asserted: the skew ratio and fitted exponent are reported).
+func Table2(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Datasets (synthetic analogs of the paper's Table II)",
+		Columns: []string{"Dataset", "Analog", "Kind", "|V|", "|E|", "|CC|", "MaxDeg", "Skew(max/mean)", "Alpha", "Power-Law"},
+		Notes: []string{
+			"Sizes are scaled to this machine (DESIGN.md §5); structure (skew, census, diameter regime) mirrors the paper's datasets.",
+		},
+	}
+	for _, d := range Suite(cfg.scale()) {
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		ds := stats.Degrees(g)
+		census := stats.Census(cc.Sequential(g))
+		t.AddRow(d.Name, d.Analog, d.Kind,
+			g.NumVertices(), g.NumEdges(), census.NumComponents,
+			ds.Max, ds.SkewRatio, ds.Alpha, yesNo(stats.IsSkewed(ds)))
+	}
+	return t, nil
+}
+
+// table4Algorithms is the Table IV column order.
+var table4Algorithms = []cc.Algorithm{
+	cc.AlgoSV, cc.AlgoBFSCC, cc.AlgoDOLP, cc.AlgoJayantiT, cc.AlgoAfforest, cc.AlgoThrifty,
+}
+
+// Table4 reproduces Table IV: wall-clock CC times in milliseconds for SV,
+// BFS-CC, DO-LP, JT, Afforest and Thrifty on every dataset.
+func Table4(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "table4",
+		Title:   "CC execution times in milliseconds",
+		Columns: []string{"Dataset", "SV", "BFS-CC", "DO-LP", "JT", "Afforest", "Thrifty", "Thrifty-vs-best-other"},
+		Notes: []string{
+			"Expected shape (paper Table IV): Thrifty fastest on skewed graphs; union-find (JT/Afforest) wins on road networks; SV slowest by ~an order of magnitude.",
+		},
+	}
+	for _, d := range Suite(cfg.scale()) {
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		times := make([]float64, len(table4Algorithms))
+		for i, a := range table4Algorithms {
+			dur, _, err := TimeAlgorithm(a, g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			times[i] = Millis(dur)
+		}
+		thrifty := times[len(times)-1]
+		bestOther := times[0]
+		for _, v := range times[:len(times)-1] {
+			if v < bestOther {
+				bestOther = v
+			}
+		}
+		t.AddRow(d.Name, times[0], times[1], times[2], times[3], times[4], times[5],
+			fmt.Sprintf("%.2fx", bestOther/thrifty))
+	}
+	return t, nil
+}
+
+// Table5 reproduces Table V: the iteration counts of DO-LP vs Thrifty and
+// their ratio, the effect of the Unified Labels Array plus Initial Push.
+func Table5(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "table5",
+		Title:   "Number of iterations required by DO-LP and Thrifty",
+		Columns: []string{"Dataset", "DO-LP", "Thrifty", "Ratio"},
+		Notes: []string{
+			"Paper Table V: ratio 0.11-0.94, average 0.61 (39% fewer iterations). Thrifty counts the initial push as an iteration.",
+		},
+	}
+	for _, d := range SkewedSuite(cfg.scale()) {
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := cc.Run(cc.AlgoDOLP, g, cfg.opts()...)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := cc.Run(cc.AlgoThrifty, g, cfg.opts()...)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d.Name, rd.Iterations, rt.Iterations,
+			fmt.Sprintf("%.2f", float64(rt.Iterations)/float64(rd.Iterations)))
+	}
+	return t, nil
+}
+
+// Table6 reproduces Table VI: the first-iteration cost. DO-LP's iteration 0
+// is a full pull over all edges; Thrifty replaces it with the O(deg(hub))
+// initial push plus one zero-convergence pull. Both sides are measured from
+// instrumented per-iteration traces, so the comparison is apples-to-apples.
+func Table6(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "table6",
+		Title:   "Execution time of the first iterations (ms)",
+		Columns: []string{"Dataset", "DO-LP iter0 (pull)", "Thrifty iter0 (initial push)", "Thrifty iter1 (pull+ZC)", "Speedup"},
+		Notes: []string{
+			"Paper Table VI: speedup 1.9x-14.2x, average 5.3x.",
+		},
+	}
+	for _, d := range SkewedSuite(cfg.scale()) {
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		instD := &cc.Instrumentation{}
+		if _, err := cc.Run(cc.AlgoDOLP, g, cfg.opts(cc.WithInstrumentation(instD))...); err != nil {
+			return nil, err
+		}
+		instT := &cc.Instrumentation{}
+		if _, err := cc.Run(cc.AlgoThrifty, g, cfg.opts(cc.WithInstrumentation(instT))...); err != nil {
+			return nil, err
+		}
+		if len(instD.Iterations) < 1 || len(instT.Iterations) < 2 {
+			continue
+		}
+		d0 := Millis(instD.Iterations[0].Duration)
+		t0 := Millis(instT.Iterations[0].Duration)
+		t1 := Millis(instT.Iterations[1].Duration)
+		t.AddRow(d.Name, d0, t0, t1, fmt.Sprintf("%.1fx", d0/(t0+t1)))
+	}
+	return t, nil
+}
+
+// Table7 reproduces Table VII: the per-iteration schedule of Thrifty under
+// a 1% vs a 5% push/pull threshold on a web-graph analog, showing that 5%
+// prematurely switches to push and repeats near-dense work as sparse
+// traversals (or vice versa keeps dense pulls running too long).
+func Table7(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "table7",
+		Title:   "Effect of the push/pull threshold (UK-Domain-like heavy-tendril crawl)",
+		Columns: []string{"Threshold", "Iter", "Traversal", "Density", "Time(ms)"},
+		Notes: []string{
+			"Paper Table VII: with 1% the near-empty pull at density 0.01% is replaced by cheap sparse work; totals favor 1%.",
+		},
+	}
+	// The paper runs this study on UK-Domain, whose frontier density decays
+	// slowly through the 1-5% band. The suite's web-uk is tuned for the
+	// Table I/IV regime (small tendril share) and skips that band, so the
+	// threshold study gets a dedicated heavier-tendril crawl whose density
+	// plateaus exactly where the two thresholds disagree.
+	n := 1 << rmatScale(cfg.scale(), 16)
+	g, err := gen.Web(gen.WebConfig{
+		CoreScale:      rmatScale(cfg.scale(), 16),
+		CoreEdgeFactor: 14,
+		NumChains:      n / 48,
+		ChainLength:    160,
+		Seed:           77,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, th := range []float64{0.01, 0.05} {
+		inst := &cc.Instrumentation{}
+		if _, err := cc.Run(cc.AlgoThrifty, g, cfg.opts(cc.WithInstrumentation(inst), cc.WithThreshold(th))...); err != nil {
+			return nil, err
+		}
+		total := 0.0
+		shown := 0
+		for _, it := range inst.Iterations {
+			total += Millis(it.Duration)
+			// Print the first pull/bridge iterations individually, then
+			// summarize the (possibly long) push tail.
+			if it.Kind != "push" || shown < 8 {
+				t.AddRow(fmt.Sprintf("%.0f%%", th*100), it.Index, it.Kind,
+					fmt.Sprintf("%.3f%%", it.Density*100), Millis(it.Duration))
+				shown++
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", th*100), "-", fmt.Sprintf("TOTAL (%d iters)", len(inst.Iterations)), "-", total)
+	}
+	return t, nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}

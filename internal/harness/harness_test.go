@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"thriftylp/cc"
+)
+
+func smallCfg() RunConfig {
+	return RunConfig{Scale: ScaleSmall, Reps: 1}
+}
+
+// TestEveryExperimentRuns is the harness integration test: each registered
+// experiment must produce a non-empty, well-formed table at small scale.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := RunExperiment(id, smallCfg())
+			if err != nil {
+				t.Fatalf("RunExperiment(%s): %v", id, err)
+			}
+			if tab.ID != id {
+				t.Fatalf("table id %q != %q", tab.ID, id)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(tab.Columns))
+				}
+			}
+			out := tab.Render()
+			if !strings.Contains(out, tab.Title) {
+				t.Fatal("render lost the title")
+			}
+		})
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("table99", smallCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestSuiteStructure(t *testing.T) {
+	suite := Suite(ScaleSmall)
+	if len(suite) < 8 {
+		t.Fatalf("suite has %d datasets", len(suite))
+	}
+	names := map[string]bool{}
+	roads, skewed := 0, 0
+	for _, d := range suite {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset name %s", d.Name)
+		}
+		names[d.Name] = true
+		if d.Kind == "road" {
+			roads++
+		}
+		if d.PowerLaw {
+			skewed++
+		}
+	}
+	if roads < 2 {
+		t.Fatalf("suite has %d road networks, want >= 2 (GB+US analogs)", roads)
+	}
+	if skewed < 5 {
+		t.Fatalf("suite has %d power-law datasets", skewed)
+	}
+	if len(SkewedSuite(ScaleSmall)) != skewed {
+		t.Fatal("SkewedSuite filter mismatch")
+	}
+}
+
+// TestSuiteDatasetsBuildAndMatchDeclaredSkew builds every dataset at small
+// scale and checks its declared power-law classification against reality.
+func TestSuiteDatasetsBuildAndMatchDeclaredSkew(t *testing.T) {
+	for _, d := range Suite(ScaleSmall) {
+		g, err := BuildCached(ScaleSmall, d)
+		if err != nil {
+			t.Fatalf("building %s: %v", d.Name, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s is degenerate: %v", d.Name, g)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		maxDeg := float64(g.Degree(g.MaxDegreeVertex()))
+		mean := float64(g.NumDirectedEdges()) / float64(g.NumVertices())
+		// Skew grows with graph size; at the tiny test scale a 10x
+		// max/mean ratio already separates the families cleanly (roads
+		// measure ~1x, RMAT/BA >= ~15x).
+		isSkewed := maxDeg >= 10*mean
+		if d.Kind != "control" && isSkewed != d.PowerLaw {
+			t.Fatalf("%s declared PowerLaw=%v but measured max/mean=%.1f", d.Name, d.PowerLaw, maxDeg/mean)
+		}
+	}
+}
+
+func TestBuildCachedMemoizes(t *testing.T) {
+	d := Suite(ScaleSmall)[0]
+	g1, err := BuildCached(ScaleSmall, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BuildCached(ScaleSmall, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("BuildCached did not memoize")
+	}
+}
+
+func TestFindDataset(t *testing.T) {
+	if _, err := FindDataset(ScaleSmall, "social-twitter"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindDataset(ScaleSmall, "no-such"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		ID:      "t",
+		Title:   "Demo",
+		Columns: []string{"A", "LongColumn"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("x", 3.14159)
+	tab.AddRow(42, "y")
+	out := tab.Render()
+	for _, want := range []string{"Demo", "LongColumn", "3.14", "42", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "A,LongColumn\n") || !strings.Contains(csv, "x,3.14") {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345.6: "12346",
+		12.34:   "12.3",
+		1.234:   "1.23",
+		0.0001:  "0.0001",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); g != 2 {
+		t.Fatalf("Geomean = %v", g)
+	}
+	if g := Geomean([]float64{0, -1}); g != 0 {
+		t.Fatalf("Geomean of non-positives = %v", g)
+	}
+}
+
+func TestTimeAlgorithm(t *testing.T) {
+	d, err := FindDataset(ScaleSmall, "social-pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildCached(ScaleSmall, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, res, err := TimeAlgorithm(cc.AlgoThrifty, g, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Fatalf("non-positive duration %v", dur)
+	}
+	if !cc.Verify(g, res.Labels) {
+		t.Fatal("timed run produced bad labels")
+	}
+}

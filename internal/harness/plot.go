@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named line of a text chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// AsciiChart renders one or more series as horizontal bar rows — enough to
+// eyeball the *shape* of a figure (convergence curves, activity profiles)
+// straight from a terminal, next to the exact numbers in the table.
+// Values are scaled to max; each row shows index, bars per series, and the
+// numeric values.
+func AsciiChart(title string, xLabel string, series ...Series) string {
+	const width = 40
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+
+	rows := 0
+	maxVal := 0.0
+	for _, s := range series {
+		if len(s.Values) > rows {
+			rows = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+
+	glyphs := []byte{'#', '*', '+', '~'}
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%4s %-3d ", xLabel, i)
+		nums := make([]string, 0, len(series))
+		for si, s := range series {
+			if i >= len(s.Values) {
+				nums = append(nums, "-")
+				continue
+			}
+			v := s.Values[i]
+			bar := int(v / maxVal * width)
+			if bar == 0 && v > 0 {
+				bar = 1
+			}
+			fmt.Fprintf(&sb, "|%s%s", strings.Repeat(string(glyphs[si%len(glyphs)]), bar), strings.Repeat(" ", width-bar))
+			nums = append(nums, formatFloat(v))
+		}
+		fmt.Fprintf(&sb, "| %s\n", strings.Join(nums, " / "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiChartShape(t *testing.T) {
+	out := AsciiChart("demo", "it",
+		Series{Name: "a", Values: []float64{0, 50, 100}},
+		Series{Name: "b", Values: []float64{100, 25}},
+	)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "# = a") || !strings.Contains(out, "* = b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 2 legend + 3 rows
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Row 2 (value 100 for a) must have a full-width bar; row 0 (value 0)
+	// must have none.
+	if !strings.Contains(lines[5], strings.Repeat("#", 40)) {
+		t.Fatalf("full bar missing: %q", lines[5])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Fatalf("zero value drew a bar: %q", lines[3])
+	}
+	// Shorter series pad with "-".
+	if !strings.Contains(lines[5], "/ -") {
+		t.Fatalf("missing placeholder for exhausted series: %q", lines[5])
+	}
+}
+
+func TestAsciiChartAllZero(t *testing.T) {
+	out := AsciiChart("z", "x", Series{Name: "s", Values: []float64{0, 0}})
+	if !strings.Contains(out, "x 1") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+}
+
+func TestAsciiChartTinyValueGetsMinBar(t *testing.T) {
+	out := AsciiChart("t", "x", Series{Name: "s", Values: []float64{0.001, 100}})
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[2], "#") {
+		t.Fatalf("tiny nonzero value drew no bar: %q", lines[2])
+	}
+}

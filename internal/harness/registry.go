@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper table or figure.
+type Runner func(RunConfig) (*Table, error)
+
+// experiments maps experiment id → runner, keyed by the paper's table and
+// figure numbers.
+var experiments = map[string]Runner{
+	"table1": Table1,
+	"table2": Table2,
+	"table4": Table4,
+	"table5": Table5,
+	"table6": Table6,
+	"table7": Table7,
+	"fig1":   Fig1,
+	"fig2":   Fig2,
+	"fig3":   Fig3,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig9":   Fig9,
+	// Extension experiments beyond the paper's evaluation (DESIGN.md §4).
+	"ablations": ExpAblations,
+	"async":     ExpAsync,
+	"connectit": ExpConnectIt,
+	"dist":      ExpDistributed,
+	"scaling":   ExpScaling,
+}
+
+// Experiments lists the available experiment ids in stable order.
+func Experiments() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunExperiment runs the experiment with the given id.
+func RunExperiment(id string, cfg RunConfig) (*Table, error) {
+	r, ok := experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
+	}
+	return r(cfg)
+}

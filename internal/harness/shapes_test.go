@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// These tests pin the paper's qualitative *shapes* at small scale so a
+// regression that silently broke a mechanism (zero convergence stops
+// skipping edges, planting lands off the giant component, ...) fails CI
+// even though all correctness tests still pass.
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsing cell %q: %v", s, err)
+	}
+	return v
+}
+
+// TestShapeTable1: every power-law dataset keeps >= 90% of its vertices in
+// the hub's component (paper: >= 94.5% at full scale).
+func TestShapeTable1(t *testing.T) {
+	tab, err := Table1(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "Yes" {
+			continue
+		}
+		if pct := cellFloat(t, row[3]); pct < 90 {
+			t.Errorf("%s: hub component holds only %.1f%%", row[0], pct)
+		}
+	}
+}
+
+// TestShapeTable5: Thrifty never needs more iterations than DO-LP, and at
+// least one dataset shows a real reduction.
+func TestShapeTable5(t *testing.T) {
+	tab, err := Table5(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyBelow := false
+	for _, row := range tab.Rows {
+		ratio := cellFloat(t, row[3])
+		if ratio > 1.0001 {
+			t.Errorf("%s: iteration ratio %.2f > 1", row[0], ratio)
+		}
+		if ratio < 0.95 {
+			anyBelow = true
+		}
+	}
+	if !anyBelow {
+		t.Error("no dataset shows an iteration reduction")
+	}
+}
+
+// TestShapeFig5: Thrifty's processed edges stay well below |E| on skewed
+// graphs while DO-LP processes each edge multiple times.
+func TestShapeFig5(t *testing.T) {
+	tab, err := Fig5(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		dolpX := cellFloat(t, row[2])
+		thriftyPct := cellFloat(t, row[3])
+		if dolpX < 1.5 {
+			t.Errorf("%s: DO-LP processed only %.1fx|E| — trace accounting broken?", row[0], dolpX)
+		}
+		if thriftyPct > 60 {
+			t.Errorf("%s: Thrifty processed %.1f%% of |E| — zero convergence not effective", row[0], thriftyPct)
+		}
+	}
+}
+
+// TestShapeFig6: every counter proxy shows at least a 50% geomean
+// reduction at small scale (paper: >= 80% at full scale).
+func TestShapeFig6(t *testing.T) {
+	tab, err := Fig6(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig6 has %d metric rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if red := cellFloat(t, row[1]); red < 50 {
+			t.Errorf("%s: reduction only %.1f%%", row[0], red)
+		}
+	}
+}
+
+// TestShapeTable6: the initial push + first pull beat DO-LP's first full
+// pull. Individual iterations last only ~100µs at test scale, so a single
+// scheduler or GC hiccup can flip one measurement — take the best of three
+// runs per dataset before judging.
+func TestShapeTable6(t *testing.T) {
+	best := map[string]float64{}
+	for attempt := 0; attempt < 3; attempt++ {
+		tab, err := Table6(smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if sp := cellFloat(t, row[4]); sp > best[row[0]] {
+				best[row[0]] = sp
+			}
+		}
+	}
+	for name, sp := range best {
+		if sp < 1 {
+			t.Errorf("%s: best first-iteration speedup %.1fx < 1", name, sp)
+		}
+	}
+}
+
+// TestShapeFig7: Thrifty's first pull converges the large majority of
+// vertices (paper: 88.3%).
+func TestShapeFig7(t *testing.T) {
+	tab, err := Fig7(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatal("fig7 too short")
+	}
+	// Row 1 is iteration 1 (the first pull); column 2 is Thrifty.
+	if conv := cellFloat(t, tab.Rows[1][2]); conv < 70 {
+		t.Errorf("Thrifty converged only %.1f%% after its first pull", conv)
+	}
+}

@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+)
+
+// Scale selects dataset sizes. The paper runs graphs up to 15.6 billion
+// edges on 768 GB - 2 TB machines; the suite scales each analog down to the
+// same *structural regime* at laptop-friendly sizes (see DESIGN.md §5).
+type Scale string
+
+// Available scales. ScaleSmall is for unit/integration tests (~10⁴-10⁵
+// edges), ScaleMedium for the default experiment runs (~10⁶ edges per
+// graph), ScaleLarge for `ccbench -scale large` (~10⁷ edges per graph).
+const (
+	ScaleSmall  Scale = "small"
+	ScaleMedium Scale = "medium"
+	ScaleLarge  Scale = "large"
+)
+
+// Dataset is one entry of the analog suite.
+type Dataset struct {
+	// Name is the suite-local dataset name.
+	Name string
+	// Analog is the paper dataset (Table II) this one stands in for.
+	Analog string
+	// Kind is "road", "social", "web" or "knowledge".
+	Kind string
+	// PowerLaw mirrors Table II's Power-Law column.
+	PowerLaw bool
+	// Build generates the graph deterministically.
+	Build func() (*graph.Graph, error)
+}
+
+// rmatScale returns the RMAT scale for the given suite scale with a delta.
+func rmatScale(s Scale, base int) int {
+	switch s {
+	case ScaleSmall:
+		return base - 6
+	case ScaleLarge:
+		return base + 2
+	default:
+		return base
+	}
+}
+
+func gridSide(s Scale, base int) int {
+	switch s {
+	case ScaleSmall:
+		return base / 8
+	case ScaleLarge:
+		return base * 2
+	default:
+		return base
+	}
+}
+
+// islandCount keeps the small-component share proportional to the core
+// size across scales, so the giant component stays in Table I's >= 94%
+// regime at every scale.
+func islandCount(coreVertices, per int) int {
+	k := coreVertices / per
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// Suite returns the dataset analogs in Table II order: two road networks
+// (non-power-law, high diameter), the social-network family, and the web
+// crawl family. Every Build is deterministic in its seed so experiment runs
+// are reproducible.
+func Suite(s Scale) []Dataset {
+	return []Dataset{
+		{
+			Name: "road-gb", Analog: "GB Roads (GBRd)", Kind: "road", PowerLaw: false,
+			Build: func() (*graph.Graph, error) {
+				return gen.Road(gridSide(s, 384)*gridSide(s, 384), 101)
+			},
+		},
+		{
+			Name: "road-us", Analog: "US Roads (USRd)", Kind: "road", PowerLaw: false,
+			Build: func() (*graph.Graph, error) {
+				return gen.Road(gridSide(s, 640)*gridSide(s, 640), 102)
+			},
+		},
+		{
+			Name: "social-pokec", Analog: "Pokec (Pkc)", Kind: "social", PowerLaw: true,
+			Build: func() (*graph.Graph, error) {
+				return gen.RMATCompact(gen.DefaultRMAT(rmatScale(s, 16), 16, 103))
+			},
+		},
+		{
+			Name: "knowledge-wiki", Analog: "War Wikipedia (WWiki)", Kind: "knowledge", PowerLaw: true,
+			Build: func() (*graph.Graph, error) {
+				// Preferential attachment + small islands reproduces a
+				// knowledge graph's skew and its multi-component census.
+				n := 1 << rmatScale(s, 16)
+				core, err := gen.BarabasiAlbert(n, 8, 104)
+				if err != nil {
+					return nil, err
+				}
+				isl, err := gen.Islands(islandCount(n, 1600), 12, 104)
+				if err != nil {
+					return nil, err
+				}
+				return gen.DisjointUnion(core, isl)
+			},
+		},
+		{
+			Name: "social-lj", Analog: "LiveJournal (LJLnks)", Kind: "social", PowerLaw: true,
+			Build: func() (*graph.Graph, error) {
+				// LiveJournal has a giant component plus ~5k small ones.
+				core, err := gen.RMATCompact(gen.DefaultRMAT(rmatScale(s, 17), 12, 105))
+				if err != nil {
+					return nil, err
+				}
+				isl, err := gen.Islands(islandCount(core.NumVertices(), 720), 8, 105)
+				if err != nil {
+					return nil, err
+				}
+				return gen.DisjointUnion(core, isl)
+			},
+		},
+		{
+			Name: "social-twitter", Analog: "Twitter 2010 (Twtr10)", Kind: "social", PowerLaw: true,
+			Build: func() (*graph.Graph, error) {
+				return gen.RMATCompact(gen.DefaultRMAT(rmatScale(s, 17), 24, 106))
+			},
+		},
+		{
+			Name: "web-webbase", Analog: "WebBase-2001 (Wbbs)", Kind: "web", PowerLaw: true,
+			Build: func() (*graph.Graph, error) {
+				n := 1 << rmatScale(s, 15)
+				return gen.Web(gen.WebConfig{
+					CoreScale:      rmatScale(s, 15),
+					CoreEdgeFactor: 10,
+					NumChains:      n / 256,
+					ChainLength:    96,
+					Seed:           107,
+				})
+			},
+		},
+		{
+			Name: "social-friendster", Analog: "Friendster (Frndstr)", Kind: "social", PowerLaw: true,
+			Build: func() (*graph.Graph, error) {
+				return gen.RMATCompact(gen.DefaultRMAT(rmatScale(s, 18), 16, 108))
+			},
+		},
+		{
+			Name: "web-uk", Analog: "UK-Union (UU)", Kind: "web", PowerLaw: true,
+			Build: func() (*graph.Graph, error) {
+				n := 1 << rmatScale(s, 16)
+				return gen.Web(gen.WebConfig{
+					CoreScale:      rmatScale(s, 16),
+					CoreEdgeFactor: 14,
+					NumChains:      n / 512,
+					ChainLength:    160,
+					Seed:           109,
+				})
+			},
+		},
+		{
+			Name: "er-control", Analog: "(none — flat-degree control)", Kind: "control", PowerLaw: false,
+			Build: func() (*graph.Graph, error) {
+				n := 1 << rmatScale(s, 16)
+				return gen.ErdosRenyi(n, 8*n, 110)
+			},
+		},
+	}
+}
+
+// SkewedSuite filters Suite to the power-law datasets, the regime the
+// paper's headline numbers cover.
+func SkewedSuite(s Scale) []Dataset {
+	var out []Dataset
+	for _, d := range Suite(s) {
+		if d.PowerLaw {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FindDataset returns the named dataset of the suite.
+func FindDataset(s Scale, name string) (Dataset, error) {
+	for _, d := range Suite(s) {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("harness: unknown dataset %q", name)
+}
+
+// graphCache memoizes built graphs per (scale, name) so multi-experiment
+// ccbench invocations build each dataset once.
+var graphCache sync.Map
+
+// BuildCached builds (or returns the memoized) graph of a dataset.
+func BuildCached(s Scale, d Dataset) (*graph.Graph, error) {
+	key := string(s) + "/" + d.Name
+	if g, ok := graphCache.Load(key); ok {
+		return g.(*graph.Graph), nil
+	}
+	g, err := d.Build()
+	if err != nil {
+		return nil, err
+	}
+	graphCache.Store(key, g)
+	return g, nil
+}

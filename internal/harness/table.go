@@ -1,0 +1,116 @@
+// Package harness drives the reproduction of every table and figure in the
+// paper's evaluation (§V): it defines the synthetic dataset suite standing
+// in for Table II, per-experiment runners keyed by the paper's table/figure
+// numbers, wall-time measurement utilities, and plain-text/CSV rendering
+// used by cmd/ccbench and recorded in EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment result: a titled grid plus free-form
+// notes (the "expected shape" commentary comparing against the paper).
+type Table struct {
+	ID      string // experiment id, e.g. "table4", "fig5"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// Chart, when non-empty, is an ASCII rendering of the figure's series
+	// (built with AsciiChart) printed after the grid.
+	Chart string
+}
+
+// AddRow appends a row, stringifying the cells with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat picks a compact human precision.
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render returns the table as aligned monospaced text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s — %s\n\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Chart != "" {
+		sb.WriteString("\n")
+		sb.WriteString(t.Chart)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\nNote: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV returns the table as comma-separated values (quotes elided: cells in
+// this harness never contain commas).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Columns, ","))
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,115 @@
+package parallel
+
+import "sync/atomic"
+
+// For runs fn over [0, n) on the pool, handing each worker dynamically
+// claimed chunks of the given grain size. fn receives half-open [lo, hi)
+// chunks. grain <= 0 selects a grain that yields ~4 chunks per worker.
+func For(pool *Pool, n, grain int, fn func(tid, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads := pool.Threads()
+	if grain <= 0 {
+		grain = n / (threads * 4)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	if threads == 1 || n <= grain {
+		fn(0, 0, n)
+		return
+	}
+	var next int64
+	pool.Run(func(tid int) {
+		for {
+			lo := int(atomic.AddInt64(&next, int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(tid, lo, hi)
+		}
+	})
+}
+
+// ForEach runs fn(i) for each i in [0, n) in parallel with dynamic chunking.
+func ForEach(pool *Pool, n, grain int, fn func(i int)) {
+	For(pool, n, grain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// SumInt64 computes the sum of fn(lo, hi) partial results over [0, n) in
+// parallel. fn must return the partial value for its chunk.
+func SumInt64(pool *Pool, n, grain int, fn func(lo, hi int) int64) int64 {
+	var total int64
+	For(pool, n, grain, func(_, lo, hi int) {
+		atomic.AddInt64(&total, fn(lo, hi))
+	})
+	return total
+}
+
+// MaxIndex finds an index i in [0, n) maximizing key(i), reproducing the
+// Zero Planting reduction of Algorithm 2 (lines 3-9): each thread tracks a
+// local maximum, then the master reduces over the per-thread maxima. Ties
+// resolve to the smallest index so the result is deterministic regardless of
+// chunk scheduling. n must be > 0.
+func MaxIndex(pool *Pool, n int, key func(i int) int64) int {
+	if n <= 0 {
+		panic("parallel: MaxIndex over empty range")
+	}
+	threads := pool.Threads()
+	maxVals := make([]int64, threads)
+	maxIdx := make([]int, threads)
+	for t := range maxVals {
+		maxVals[t] = -1 << 62
+		maxIdx[t] = -1
+	}
+	For(pool, n, 0, func(tid, lo, hi int) {
+		bestV, bestI := maxVals[tid], maxIdx[tid]
+		for i := lo; i < hi; i++ {
+			if v := key(i); v > bestV || (v == bestV && i < bestI) {
+				bestV, bestI = v, i
+			}
+		}
+		maxVals[tid], maxIdx[tid] = bestV, bestI
+	})
+	bestV, bestI := int64(-1<<62), -1
+	for t := 0; t < threads; t++ {
+		if maxIdx[t] < 0 {
+			continue
+		}
+		if maxVals[t] > bestV || (maxVals[t] == bestV && maxIdx[t] < bestI) {
+			bestV, bestI = maxVals[t], maxIdx[t]
+		}
+	}
+	return bestI
+}
+
+// Fill sets dst[i] = fn(i) for all i in parallel. Used for the initial label
+// assignment loops of the LP algorithms.
+func Fill(pool *Pool, dst []uint32, fn func(i int) uint32) {
+	For(pool, len(dst), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = fn(i)
+		}
+	})
+}
+
+// Copy copies src into dst in parallel; the slices must have equal length.
+// This is the labels-array synchronization step of DO-LP (Algorithm 1,
+// lines 21-22), which Thrifty's Unified Labels Array removes.
+func Copy(pool *Pool, dst, src []uint32) {
+	if len(dst) != len(src) {
+		panic("parallel: Copy length mismatch")
+	}
+	For(pool, len(dst), 0, func(_, lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}

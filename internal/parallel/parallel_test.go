@@ -1,0 +1,219 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolRunsAllWorkers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Threads() != 4 {
+		t.Fatalf("Threads = %d, want 4", p.Threads())
+	}
+	seen := make([]int32, 4)
+	p.Run(func(tid int) { atomic.AddInt32(&seen[tid], 1) })
+	for tid, c := range seen {
+		if c != 1 {
+			t.Fatalf("worker %d ran %d times, want 1", tid, c)
+		}
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var total int64
+	for i := 0; i < 100; i++ {
+		p.Run(func(tid int) { atomic.AddInt64(&total, 1) })
+	}
+	if total != 300 {
+		t.Fatalf("total = %d, want 300", total)
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 7, 100, 4096, 10001} {
+		touched := make([]int32, n)
+		For(p, n, 13, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&touched[i], 1)
+			}
+		})
+		for i, c := range touched {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d touched %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachAndFill(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum int64
+	ForEach(p, 1000, 0, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 499500 {
+		t.Fatalf("sum = %d, want 499500", sum)
+	}
+	dst := make([]uint32, 777)
+	Fill(p, dst, func(i int) uint32 { return uint32(i * 2) })
+	for i, v := range dst {
+		if v != uint32(i*2) {
+			t.Fatalf("dst[%d] = %d", i, v)
+		}
+	}
+	src := make([]uint32, 777)
+	Fill(p, src, func(i int) uint32 { return uint32(i + 5) })
+	Copy(p, dst, src)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("Copy mismatch at %d", i)
+		}
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	got := SumInt64(p, 10000, 0, func(lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		return s
+	})
+	if got != 49995000 {
+		t.Fatalf("SumInt64 = %d", got)
+	}
+}
+
+func TestMaxIndexDeterministicTies(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	vals := []int64{3, 9, 2, 9, 9, 1}
+	got := MaxIndex(p, len(vals), func(i int) int64 { return vals[i] })
+	if got != 1 {
+		t.Fatalf("MaxIndex = %d, want 1 (first of the ties)", got)
+	}
+	if got := MaxIndex(p, 1, func(int) int64 { return -7 }); got != 0 {
+		t.Fatalf("single-element MaxIndex = %d", got)
+	}
+}
+
+func TestMaxIndexQuick(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		got := MaxIndex(p, len(vals), func(i int) int64 { return int64(vals[i]) })
+		want := 0
+		for i, v := range vals {
+			if int64(v) > int64(vals[want]) {
+				want = i
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionEdgesBalanced(t *testing.T) {
+	// CSR index of a graph where vertex v has degree v (triangle numbers).
+	n := 100
+	index := make([]int64, n+1)
+	for v := 1; v <= n; v++ {
+		index[v] = index[v-1] + int64(v-1)
+	}
+	parts := PartitionEdges(index, 8)
+	if len(parts) != 8 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	// Coverage: contiguous, complete.
+	if parts[0].Lo != 0 || parts[len(parts)-1].Hi != uint32(n) {
+		t.Fatalf("partitions do not span [0,%d): %v", n, parts)
+	}
+	for i := 1; i < len(parts); i++ {
+		if parts[i].Lo != parts[i-1].Hi {
+			t.Fatalf("gap between partitions %d and %d", i-1, i)
+		}
+	}
+	// Balance: no partition holds more than 2× the ideal edge share (the
+	// heaviest single vertex here has < 1/8 of edges so this must hold).
+	total := index[n]
+	for _, p := range parts {
+		edges := index[p.Hi] - index[p.Lo]
+		if edges > total/4 {
+			t.Fatalf("partition %v has %d of %d edges", p, edges, total)
+		}
+	}
+}
+
+func TestPartitionEdgesEmptyAndHub(t *testing.T) {
+	// Empty graph.
+	parts := PartitionEdges([]int64{0}, 4)
+	if len(parts) != 4 {
+		t.Fatalf("empty: got %d partitions", len(parts))
+	}
+	// One hub vertex with all edges: partitions may be empty but must cover.
+	index := []int64{0, 1000, 1000, 1000, 1000}
+	parts = PartitionEdges(index, 4)
+	if parts[len(parts)-1].Hi != 4 || parts[0].Lo != 0 {
+		t.Fatalf("hub: bad coverage %v", parts)
+	}
+}
+
+func TestPartitionVertices(t *testing.T) {
+	parts := PartitionVertices(10, 3)
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != 10 {
+		t.Fatalf("vertex partitions cover %d, want 10", total)
+	}
+}
+
+func TestStealerProcessesEachPartitionOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	index := make([]int64, 1001)
+	for v := 1; v <= 1000; v++ {
+		index[v] = index[v-1] + 3
+	}
+	parts := PartitionEdges(index, PartitionsPerThread*p.Threads())
+	s := NewStealer(parts, p.Threads())
+	counts := make([]int32, 1000)
+	for round := 0; round < 3; round++ { // Reset-and-reuse across rounds
+		s.Run(p, func(_ int, r Range) {
+			for v := r.Lo; v < r.Hi; v++ {
+				atomic.AddInt32(&counts[v], 1)
+			}
+		})
+	}
+	for v, c := range counts {
+		if c != 3 {
+			t.Fatalf("vertex %d processed %d times, want 3", v, c)
+		}
+	}
+}
+
+func TestDefaultPool(t *testing.T) {
+	p1 := Default()
+	p2 := Default()
+	if p1 != p2 {
+		t.Fatal("Default() not cached")
+	}
+	var ran int32
+	p1.Run(func(int) { atomic.AddInt32(&ran, 1) })
+	if ran == 0 {
+		t.Fatal("default pool did not run")
+	}
+}

@@ -1,0 +1,79 @@
+package parallel
+
+// Range is a half-open interval [Lo, Hi) of vertex ids. Partitioning a graph
+// produces a slice of contiguous Ranges covering [0, |V|).
+type Range struct {
+	Lo, Hi uint32
+}
+
+// Len returns the number of vertices in the range.
+func (r Range) Len() int { return int(r.Hi - r.Lo) }
+
+// PartitionsPerThread is the partition multiplier from the paper (§V-A):
+// the vertex set is split into 32×#threads edge-balanced partitions and
+// partitions [32t, 32(t+1)) are initially assigned to thread t.
+const PartitionsPerThread = 32
+
+// PartitionEdges splits the vertex range [0, n) into k contiguous partitions
+// with approximately equal edge counts, where index is the CSR offsets array
+// (len n+1, index[n] = |E|). Vertices are never split, so a partition may be
+// empty when a hub vertex carries more than 1/k of the edges.
+func PartitionEdges(index []int64, k int) []Range {
+	n := len(index) - 1
+	if n < 0 {
+		panic("parallel: empty CSR index")
+	}
+	if k <= 0 {
+		k = 1
+	}
+	total := index[n]
+	parts := make([]Range, 0, k)
+	lo := 0
+	for p := 0; p < k; p++ {
+		// Target cumulative edge count at the end of partition p.
+		target := total * int64(p+1) / int64(k)
+		hi := lo
+		if p == k-1 {
+			hi = n
+		} else {
+			hi = searchIndex(index, target, lo)
+		}
+		if hi < lo {
+			hi = lo
+		}
+		parts = append(parts, Range{Lo: uint32(lo), Hi: uint32(hi)})
+		lo = hi
+	}
+	return parts
+}
+
+// searchIndex returns the smallest v >= from with index[v] >= target, using
+// binary search over the monotone CSR offsets.
+func searchIndex(index []int64, target int64, from int) int {
+	lo, hi := from, len(index)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if index[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// PartitionVertices splits [0, n) into k contiguous partitions of
+// approximately equal vertex counts. Used when no degree information is
+// available (e.g., operating on plain arrays).
+func PartitionVertices(n, k int) []Range {
+	if k <= 0 {
+		k = 1
+	}
+	parts := make([]Range, 0, k)
+	for p := 0; p < k; p++ {
+		lo := n * p / k
+		hi := n * (p + 1) / k
+		parts = append(parts, Range{Lo: uint32(lo), Hi: uint32(hi)})
+	}
+	return parts
+}

@@ -1,0 +1,119 @@
+// Package parallel is the shared-memory runtime underneath every algorithm
+// in this repository. It reproduces the execution model of the Thrifty paper
+// (§V-A): a master-worker pool of persistent threads, edge-balanced
+// partitioning of the vertex set into 32×#threads partitions, and a
+// work-stealing discipline where each thread processes its own partitions in
+// ascending order and steals partitions from other threads in descending
+// order.
+//
+// The paper's runtime is pthreads + futex; here the persistent workers are
+// goroutines parked on a condition variable, which is the closest Go
+// equivalent (goroutine park/unpark is futex-based on Linux).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a master-worker pool of persistent goroutines. A Pool is created
+// once and reused across all parallel regions of an algorithm run, so that
+// iteration loops do not pay goroutine spawn costs per iteration — mirroring
+// the paper's persistent pthread workers synchronized with futexes.
+type Pool struct {
+	mu      sync.Mutex
+	work    *sync.Cond // workers wait here for a new job generation
+	done    *sync.Cond // master waits here for job completion
+	threads int
+	job     func(tid int)
+	gen     uint64 // increments per submitted job
+	active  int    // workers still running the current job
+	closed  bool
+}
+
+// NewPool creates a pool with the given number of worker goroutines.
+// threads <= 0 selects runtime.GOMAXPROCS(0).
+func NewPool(threads int) *Pool {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{threads: threads}
+	p.work = sync.NewCond(&p.mu)
+	p.done = sync.NewCond(&p.mu)
+	for t := 0; t < threads; t++ {
+		go p.worker(t)
+	}
+	return p
+}
+
+// Threads returns the number of workers in the pool.
+func (p *Pool) Threads() int { return p.threads }
+
+func (p *Pool) worker(tid int) {
+	var seen uint64
+	for {
+		p.mu.Lock()
+		for p.gen == seen && !p.closed {
+			p.work.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		seen = p.gen
+		job := p.job
+		p.mu.Unlock()
+
+		job(tid)
+
+		p.mu.Lock()
+		p.active--
+		if p.active == 0 {
+			p.done.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Run executes job(tid) on every worker concurrently and returns when all
+// workers have finished. Run must not be called concurrently with itself or
+// Close; algorithms call it from a single master goroutine.
+func (p *Pool) Run(job func(tid int)) {
+	p.mu.Lock()
+	p.job = job
+	p.gen++
+	p.active = p.threads
+	gen := p.gen
+	p.work.Broadcast()
+	for p.active > 0 && p.gen == gen {
+		p.done.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the worker goroutines down. The pool must be idle.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.work.Broadcast()
+	p.mu.Unlock()
+}
+
+var (
+	defaultPoolMu sync.Mutex
+	defaultPool   *Pool
+)
+
+// Default returns a process-wide pool sized to GOMAXPROCS, creating it on
+// first use. Algorithms that are not handed an explicit pool use this one.
+func Default() *Pool {
+	defaultPoolMu.Lock()
+	defer defaultPoolMu.Unlock()
+	if defaultPool == nil || defaultPool.threads != runtime.GOMAXPROCS(0) {
+		if defaultPool != nil {
+			defaultPool.Close()
+		}
+		defaultPool = NewPool(0)
+	}
+	return defaultPool
+}

@@ -1,0 +1,84 @@
+package parallel
+
+import "sync/atomic"
+
+// Stealer schedules a fixed slice of partitions over the threads of a Pool
+// with the paper's stealing discipline (§V-A): thread t owns the contiguous
+// block of partitions [m·t, m·(t+1)) where m = len(parts)/threads; it
+// processes its own block in ascending order to preserve locality across
+// consecutive partitions, and once exhausted it steals from other threads'
+// blocks in descending order (so steals collide with the victim's own
+// ascending scan as late as possible).
+//
+// Claiming is a per-partition CAS, which makes double-execution impossible
+// regardless of how owner and thief scans interleave.
+type Stealer struct {
+	parts   []Range
+	claimed []int32
+	threads int
+}
+
+// NewStealer prepares a scheduling of parts over the given thread count.
+func NewStealer(parts []Range, threads int) *Stealer {
+	if threads <= 0 {
+		threads = 1
+	}
+	return &Stealer{
+		parts:   parts,
+		claimed: make([]int32, len(parts)),
+		threads: threads,
+	}
+}
+
+// Reset makes all partitions claimable again, allowing the Stealer to be
+// reused across iterations without reallocating.
+func (s *Stealer) Reset() {
+	for i := range s.claimed {
+		atomic.StoreInt32(&s.claimed[i], 0)
+	}
+}
+
+// block returns the half-open partition-index block owned by thread t.
+func (s *Stealer) block(t int) (lo, hi int) {
+	n := len(s.parts)
+	lo = n * t / s.threads
+	hi = n * (t + 1) / s.threads
+	return
+}
+
+func (s *Stealer) tryClaim(i int) bool {
+	return atomic.LoadInt32(&s.claimed[i]) == 0 &&
+		atomic.CompareAndSwapInt32(&s.claimed[i], 0, 1)
+}
+
+// Work runs fn over partitions on behalf of thread tid until no unclaimed
+// partition remains: first the thread's own block ascending, then the other
+// threads' blocks (in ring order starting after tid) descending.
+func (s *Stealer) Work(tid int, fn func(p Range)) {
+	lo, hi := s.block(tid)
+	for i := lo; i < hi; i++ {
+		if s.tryClaim(i) {
+			fn(s.parts[i])
+		}
+	}
+	// Steal: visit victims round-robin starting from the next thread, and
+	// scan each victim's block in descending order.
+	for d := 1; d < s.threads; d++ {
+		v := (tid + d) % s.threads
+		vlo, vhi := s.block(v)
+		for i := vhi - 1; i >= vlo; i-- {
+			if s.tryClaim(i) {
+				fn(s.parts[i])
+			}
+		}
+	}
+}
+
+// Run partitions-over-pool convenience: schedules parts on pool with work
+// stealing and blocks until every partition has been processed exactly once.
+func (s *Stealer) Run(pool *Pool, fn func(tid int, p Range)) {
+	s.Reset()
+	pool.Run(func(tid int) {
+		s.Work(tid, func(p Range) { fn(tid, p) })
+	})
+}

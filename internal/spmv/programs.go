@@ -1,0 +1,44 @@
+package spmv
+
+import "thriftylp/graph"
+
+// CC instantiates Thrifty-style connected components on the generic engine:
+// Init v+1, the 0 label planted on the hub, identity EdgeFn, floor 0, an
+// initial push, and async (unified-array) execution. Its partition matches
+// internal/core.Thrifty exactly; it exists to validate the engine and to
+// measure the generalized optimizations against the hand-written kernel.
+func CC(g *graph.Graph, async bool) Result {
+	if g.NumVertices() == 0 {
+		return Result{Values: []uint32{}}
+	}
+	hub := g.MaxDegreeVertex()
+	return Run(g, Program{
+		Init:        func(v uint32) uint32 { return v + 1 },
+		EdgeFn:      func(x uint32) uint32 { return x },
+		Floor:       0,
+		Seeds:       []Seed{{Vertex: hub, Value: 0}},
+		InitialPush: true,
+		Async:       async,
+	})
+}
+
+// HopDistance computes BFS hop distances from root on the same engine:
+// Init Unreached, the root seeded at 0, saturating-increment EdgeFn.
+// Unreachable vertices keep Unreached. Async mode lets a distance travel
+// multiple hops within one sweep — the asynchronous-execution effect the
+// paper's future work asks about; compare Iterations against sync mode.
+func HopDistance(g *graph.Graph, root uint32, async bool) Result {
+	return Run(g, Program{
+		Init: func(v uint32) uint32 { return Unreached },
+		EdgeFn: func(x uint32) uint32 {
+			if x == Unreached {
+				return Unreached
+			}
+			return x + 1
+		},
+		Floor:       0,
+		Seeds:       []Seed{{Vertex: root, Value: 0}},
+		InitialPush: true,
+		Async:       async,
+	})
+}

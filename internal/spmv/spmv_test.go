@@ -1,0 +1,185 @@
+package spmv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+	"thriftylp/internal/core"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// bfsOracle computes hop distances sequentially.
+func bfsOracle(g *graph.Graph, root uint32) []uint32 {
+	n := g.NumVertices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[root] = 0
+	queue := []uint32{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == Unreached {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+func testGraphs() map[string]*graph.Graph {
+	// loophub: the max-degree vertex's only edge is a self-loop, so the
+	// initial push activates nothing — regression fixture for the
+	// do-while guarantee (at least one full sweep must still run).
+	loopHub, err := graph.BuildUndirected(
+		[]graph.Edge{{U: 0, V: 0}, {U: 1, V: 2}}, graph.WithNumVertices(4))
+	if err != nil {
+		panic(err)
+	}
+	return map[string]*graph.Graph{
+		"rmat":    mustGraph(gen.RMAT(gen.DefaultRMAT(11, 8, 4))),
+		"path":    mustGraph(gen.Path(700)),
+		"star":    mustGraph(gen.Star(500)),
+		"cliques": mustGraph(gen.Components(4, 7)),
+		"web":     mustGraph(gen.Web(gen.WebConfig{CoreScale: 8, CoreEdgeFactor: 6, NumChains: 6, ChainLength: 48, Seed: 2})),
+		"grid":    mustGraph(gen.Grid(gen.GridConfig{Rows: 30, Cols: 30})),
+		"loophub": loopHub,
+	}
+}
+
+func TestCCMatchesOracleBothModes(t *testing.T) {
+	for name, g := range testGraphs() {
+		oracle := core.SeqCC(g)
+		for _, async := range []bool{false, true} {
+			res := CC(g, async)
+			if !core.Equivalent(res.Values, oracle) {
+				t.Fatalf("%s async=%v: wrong partition", name, async)
+			}
+		}
+	}
+}
+
+func TestCCMatchesThriftyLabels(t *testing.T) {
+	g := mustGraph(gen.RMAT(gen.DefaultRMAT(12, 8, 9)))
+	engine := CC(g, true)
+	hand := core.Thrifty(g, core.Config{})
+	// Not just the same partition — the same label values (0 on the hub's
+	// component, min+1 elsewhere).
+	for v := range engine.Values {
+		if engine.Values[v] != hand.Labels[v] {
+			t.Fatalf("vertex %d: engine %d vs thrifty %d", v, engine.Values[v], hand.Labels[v])
+		}
+	}
+}
+
+func TestHopDistanceMatchesBFS(t *testing.T) {
+	for name, g := range testGraphs() {
+		if g.NumVertices() == 0 {
+			continue
+		}
+		root := g.MaxDegreeVertex()
+		want := bfsOracle(g, root)
+		for _, async := range []bool{false, true} {
+			res := HopDistance(g, root, async)
+			for v := range want {
+				if res.Values[v] != want[v] {
+					t.Fatalf("%s async=%v: dist[%d] = %d, want %d",
+						name, async, v, res.Values[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncNeverMoreIterations: the unified-array (asynchronous) engine
+// must never need more iterations than the synchronous one — the §VII
+// correspondence made checkable.
+func TestAsyncNeverMoreIterations(t *testing.T) {
+	for name, g := range testGraphs() {
+		sync := CC(g, false)
+		async := CC(g, true)
+		if async.Iterations > sync.Iterations {
+			t.Fatalf("%s: async CC took %d iterations vs sync %d", name, async.Iterations, sync.Iterations)
+		}
+		if g.NumVertices() == 0 {
+			continue
+		}
+		root := g.MaxDegreeVertex()
+		sd := HopDistance(g, root, false)
+		ad := HopDistance(g, root, true)
+		if ad.Iterations > sd.Iterations {
+			t.Fatalf("%s: async BFS took %d iterations vs sync %d", name, ad.Iterations, sd.Iterations)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustGraph(gen.Empty(0))
+	res := CC(g, true)
+	if len(res.Values) != 0 || res.Iterations != 0 {
+		t.Fatalf("empty: %+v", res)
+	}
+}
+
+func TestSeedsAndFloorSemantics(t *testing.T) {
+	// A path seeded at one end: floor convergence applies only to value 0.
+	g := mustGraph(gen.Path(10))
+	res := Run(g, Program{
+		Init: func(v uint32) uint32 { return Unreached },
+		EdgeFn: func(x uint32) uint32 {
+			if x == Unreached {
+				return Unreached
+			}
+			return x + 1
+		},
+		Floor:       0,
+		Seeds:       []Seed{{Vertex: 9, Value: 0}},
+		InitialPush: true,
+		Async:       true,
+	})
+	for v := 0; v < 10; v++ {
+		if res.Values[v] != uint32(9-v) {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Values[v], 9-v)
+		}
+	}
+}
+
+// TestQuickEngineAgreesWithOracles hammers both programs on random graphs.
+func TestQuickEngineAgreesWithOracles(t *testing.T) {
+	f := func(raw []byte, async bool) bool {
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: uint32(raw[i] % 96), V: uint32(raw[i+1] % 96)})
+		}
+		g, err := graph.BuildUndirected(edges, graph.WithNumVertices(96))
+		if err != nil {
+			return false
+		}
+		if !core.Equivalent(CC(g, async).Values, core.SeqCC(g)) {
+			return false
+		}
+		root := g.MaxDegreeVertex()
+		want := bfsOracle(g, root)
+		got := HopDistance(g, root, async).Values
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestDegreesOnStar(t *testing.T) {
+	g := mustGraph(gen.Star(101)) // hub degree 100, leaves degree 1
+	s := Degrees(g)
+	if s.Min != 1 || s.Max != 100 || s.Median != 1 {
+		t.Fatalf("star stats: %+v", s)
+	}
+	wantMean := 200.0 / 101.0
+	if math.Abs(s.Mean-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", s.Mean, wantMean)
+	}
+	if !IsSkewed(s) {
+		t.Fatal("star not classified as skewed")
+	}
+}
+
+func TestDegreesOnGridNotSkewed(t *testing.T) {
+	g := mustGraph(gen.Grid(gen.GridConfig{Rows: 50, Cols: 50}))
+	s := Degrees(g)
+	if s.Max != 4 {
+		t.Fatalf("grid max degree = %d", s.Max)
+	}
+	if IsSkewed(s) {
+		t.Fatal("grid classified as skewed")
+	}
+}
+
+func TestDegreesEmpty(t *testing.T) {
+	g := mustGraph(gen.Empty(0))
+	s := Degrees(g)
+	if s.Max != 0 || s.Mean != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestPowerLawAlphaOnSyntheticTail(t *testing.T) {
+	// A degree multiset following P(d) ∝ d^-2.5 should fit alpha ≈ 2.5.
+	var degs []int
+	for d := 2; d <= 200; d++ {
+		count := int(1e6 * math.Pow(float64(d), -2.5))
+		for i := 0; i < count; i++ {
+			degs = append(degs, d)
+		}
+	}
+	alpha := powerLawAlpha(degs, 2)
+	if alpha < 2.2 || alpha > 2.8 {
+		t.Fatalf("alpha = %v, want ~2.5", alpha)
+	}
+	// Tiny tails return 0 rather than a junk fit.
+	if powerLawAlpha([]int{1, 2, 3}, 2) != 0 {
+		t.Fatal("tiny tail produced a fit")
+	}
+}
+
+func TestCensus(t *testing.T) {
+	labels := []uint32{0, 0, 0, 5, 5, 9}
+	c := Census(labels)
+	if c.NumComponents != 3 {
+		t.Fatalf("NumComponents = %d", c.NumComponents)
+	}
+	if c.LargestSize != 3 {
+		t.Fatalf("LargestSize = %d", c.LargestSize)
+	}
+	if math.Abs(c.LargestFraction-0.5) > 1e-9 {
+		t.Fatalf("LargestFraction = %v", c.LargestFraction)
+	}
+	if c.Sizes[5] != 2 || c.Sizes[9] != 1 {
+		t.Fatalf("Sizes = %v", c.Sizes)
+	}
+	if Census(nil).NumComponents != 0 {
+		t.Fatal("empty census")
+	}
+}
+
+func TestMaxDegreeComponentFraction(t *testing.T) {
+	// Star(5) ∪ Path(3): hub of the star is max degree; star holds 5 of 8.
+	star := mustGraph(gen.Star(5))
+	path := mustGraph(gen.Path(3))
+	g := mustGraph(gen.DisjointUnion(star, path))
+	labels := []uint32{0, 0, 0, 0, 0, 5, 5, 5}
+	got := MaxDegreeComponentFraction(g, labels)
+	if math.Abs(got-62.5) > 1e-9 {
+		t.Fatalf("fraction = %v, want 62.5", got)
+	}
+	empty := mustGraph(gen.Empty(0))
+	if MaxDegreeComponentFraction(empty, nil) != 0 {
+		t.Fatal("empty fraction")
+	}
+}
+
+func TestRMATSkewClassification(t *testing.T) {
+	// End-to-end: the suite's social analogs must classify as power-law and
+	// the road analogs must not — Table II's column.
+	rmat := mustGraph(gen.RMATCompact(gen.DefaultRMAT(13, 16, 21)))
+	if !IsSkewed(Degrees(rmat)) {
+		t.Fatal("RMAT not classified skewed")
+	}
+	road := mustGraph(gen.Road(10000, 21))
+	if IsSkewed(Degrees(road)) {
+		t.Fatal("road classified skewed")
+	}
+}

@@ -1,0 +1,147 @@
+package worklist
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAddAndLen(t *testing.T) {
+	s := New(100, 2)
+	s.Add(0, 5)
+	s.Add(1, 6)
+	s.Add(0, 5) // duplicate, same thread: mark array suppresses it
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(5) || !s.Contains(6) || s.Contains(7) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Empty() {
+		t.Fatal("Empty on non-empty set")
+	}
+}
+
+func TestDrainDeliversEverythingOnce(t *testing.T) {
+	const n = 10000
+	const threads = 4
+	s := New(n, threads)
+	for v := 0; v < n; v++ {
+		s.Add(v%threads, uint32(v))
+	}
+	counts := make([]int32, n)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			s.Drain(tid, func(v uint32) { atomic.AddInt32(&counts[v], 1) })
+		}(tid)
+	}
+	wg.Wait()
+	for v, c := range counts {
+		if c != 1 {
+			t.Fatalf("vertex %d delivered %d times, want exactly 1", v, c)
+		}
+	}
+}
+
+// TestDrainStealsAcrossThreads puts all work on thread 0's list and checks
+// that other threads' Drain calls still retrieve it.
+func TestDrainStealsAcrossThreads(t *testing.T) {
+	const n = 1000
+	s := New(n, 4)
+	for v := 0; v < n; v++ {
+		s.Add(0, uint32(v))
+	}
+	var got int64
+	var wg sync.WaitGroup
+	for tid := 1; tid < 4; tid++ { // note: owner thread 0 never drains
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			s.Drain(tid, func(uint32) { atomic.AddInt64(&got, 1) })
+		}(tid)
+	}
+	wg.Wait()
+	if got != n {
+		t.Fatalf("stealers retrieved %d of %d items", got, n)
+	}
+}
+
+func TestResetAllowsReuse(t *testing.T) {
+	s := New(50, 2)
+	for round := 0; round < 5; round++ {
+		s.Add(0, 10)
+		s.Add(1, 20)
+		if s.Len() != 2 {
+			t.Fatalf("round %d: Len = %d", round, s.Len())
+		}
+		var seen []uint32
+		s.Drain(0, func(v uint32) { seen = append(seen, v) })
+		sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
+		if len(seen) != 2 || seen[0] != 10 || seen[1] != 20 {
+			t.Fatalf("round %d: drained %v", round, seen)
+		}
+		s.Reset()
+		if !s.Empty() || s.Contains(10) {
+			t.Fatalf("round %d: Reset incomplete", round)
+		}
+	}
+}
+
+func TestAddUnchecked(t *testing.T) {
+	s := New(10, 1)
+	s.AddUnchecked(0, 3)
+	if !s.Contains(3) || s.Len() != 1 {
+		t.Fatal("AddUnchecked did not mark/queue")
+	}
+	// A checked Add afterwards must be suppressed.
+	s.Add(0, 3)
+	if s.Len() != 1 {
+		t.Fatal("duplicate after AddUnchecked not suppressed")
+	}
+}
+
+// TestConcurrentAddDuplicatesAreBounded verifies the benign-race contract:
+// concurrent Adds of the same vertex may duplicate, but every queued vertex
+// is marked, and the queue never exceeds threads copies of one vertex.
+func TestConcurrentAddDuplicatesAreBounded(t *testing.T) {
+	const threads = 8
+	s := New(16, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(tid, uint32(i%16))
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if s.Len() > 16*threads {
+		t.Fatalf("queue holds %d entries for 16 vertices × %d threads", s.Len(), threads)
+	}
+	for v := uint32(0); v < 16; v++ {
+		if !s.Contains(v) {
+			t.Fatalf("vertex %d lost", v)
+		}
+	}
+	// ForEach must visit at least each distinct vertex.
+	seen := map[uint32]bool{}
+	s.ForEach(func(v uint32) { seen[v] = true })
+	if len(seen) != 16 {
+		t.Fatalf("ForEach saw %d distinct vertices, want 16", len(seen))
+	}
+}
+
+func TestThreadsAccessor(t *testing.T) {
+	if New(1, 3).Threads() != 3 {
+		t.Fatal("Threads accessor wrong")
+	}
+	if New(1, 0).Threads() != 1 {
+		t.Fatal("zero threads should clamp to 1")
+	}
+}
