@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench verify experiments clean
+.PHONY: all build test race cover bench bench-json verify experiments clean
 
 all: build test
 
@@ -22,6 +22,11 @@ cover:
 # One Benchmark family per paper table/figure; see bench_test.go.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the machine-readable perf-regression record (uninstrumented
+# fast-path timings on the fixed medium-scale fixtures; min of 5 reps).
+bench-json:
+	$(GO) run ./cmd/ccbench -json BENCH_thrifty.json -reps 5
 
 # Cross-validate every algorithm against the sequential oracle.
 verify:

@@ -9,6 +9,13 @@
 //
 // Experiment ids follow the paper's numbering: table1, table2, table4,
 // table5, table6, table7, fig1, fig2, fig3, fig5, fig6, fig7, fig9.
+//
+// With -json, ccbench instead runs the perf-regression suite (uninstrumented
+// fast-path timings of every label-propagation kernel on the fixed
+// medium-scale fixtures) and writes machine-readable results to the given
+// file — `make bench-json` uses this to refresh BENCH_thrifty.json:
+//
+//	ccbench -json BENCH_thrifty.json -reps 5
 package main
 
 import (
@@ -28,6 +35,7 @@ func main() {
 		reps    = flag.Int("reps", 3, "timed repetitions per measurement (min is reported)")
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		csvPath = flag.String("csv", "", "also append results as CSV to this file")
+		jsonOut = flag.String("json", "", "run the perf-regression suite and write JSON results to this file")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
@@ -41,6 +49,21 @@ func main() {
 		Scale:   harness.Scale(*scale),
 		Reps:    *reps,
 		Threads: *threads,
+	}
+
+	if *jsonOut != "" {
+		start := time.Now()
+		rep, err := harness.BenchRegression(cfg)
+		if err != nil {
+			fatalf("perf regression: %v", err)
+		}
+		if err := rep.WriteJSON(*jsonOut); err != nil {
+			fatalf("writing %s: %v", *jsonOut, err)
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("(regression suite completed in %v, wrote %s)\n",
+			time.Since(start).Round(time.Millisecond), *jsonOut)
+		return
 	}
 
 	ids := []string{*exp}

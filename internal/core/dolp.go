@@ -79,6 +79,13 @@ func (f *frontierState) extract(pool *parallel.Pool) []uint32 {
 // primary baseline (its column in Table IV, Fig 5-8, and the reference
 // against which Thrifty's 25.2× average speedup is quoted).
 func DOLP(g *graph.Graph, cfg Config) Result {
+	if cfg.fastInstr() {
+		return dolpRun(g, cfg, noInstr{})
+	}
+	return dolpRun(g, cfg, newCounting(cfg))
+}
+
+func dolpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
 	threshold := cfg.threshold(DefaultDOLPThreshold)
@@ -110,64 +117,13 @@ func DOLP(g *graph.Graph, cfg Config) Result {
 			// Push traversal (lines 9-12).
 			kind = counters.KindPush
 			res.PushIterations++
-			active := oldFr.extract(pool)
-			parallel.For(pool, len(active), 512, func(tid, lo, hi int) {
-				var local int64
-				var ck chunkCounts
-				for _, v := range active[lo:hi] {
-					ck.visits++
-					lv := oldLbs[v]
-					ck.loads++
-					for _, u := range g.Neighbors(v) {
-						ck.edges++
-						ck.loads++
-						ck.cas++
-						ck.branches++
-						cfg.Lines.Touch(u)
-						if atomicx.MinUint32(&newLbs[u], lv) {
-							ck.stores++
-							if newFr.bm.SetAtomic(int(u)) {
-								local++
-							}
-						}
-					}
-				}
-				ck.flush(cfg.Ctr, tid)
-				atomic.AddInt64(&changed, local)
-			})
+			changed = dolpPush(g, pool, oldLbs, newLbs, &oldFr, &newFr, proto)
 		} else {
 			// Pull traversal (lines 13-20): all vertices, ignoring frontier
 			// membership of neighbours.
 			kind = counters.KindPull
 			res.PullIterations++
-			sch.sweep(func(tid, lo, hi int) {
-				var local int64
-				var ck chunkCounts
-				for v := lo; v < hi; v++ {
-					ck.visits++
-					newLabel := oldLbs[v]
-					ck.loads++
-					cfg.Lines.Touch(uint32(v))
-					for _, u := range g.Neighbors(uint32(v)) {
-						ck.edges++
-						ck.loads++
-						ck.branches++
-						cfg.Lines.Touch(u)
-						if l := oldLbs[u]; l < newLabel {
-							newLabel = l
-						}
-					}
-					ck.branches++
-					if newLabel < oldLbs[v] {
-						newLbs[v] = newLabel
-						ck.stores++
-						newFr.bm.SetAtomic(v) // chunks share words at their edges
-						local++
-					}
-				}
-				ck.flush(cfg.Ctr, tid)
-				atomic.AddInt64(&changed, local)
-			})
+			changed = dolpPull(g, sch, oldLbs, newLbs, &newFr, proto)
 		}
 
 		// Synchronize labels arrays (lines 21-22) and swap frontiers. The
@@ -203,4 +159,76 @@ func DOLP(g *graph.Graph, cfg Config) Result {
 	}
 	res.Labels = newLbs
 	return res
+}
+
+// dolpPush runs one DO-LP push iteration over the extracted sparse frontier:
+// each active vertex propagates its old label to its neighbours' new labels
+// with atomic-min, marking lowered neighbours in the new frontier bitmap.
+// Returns the number of newly activated vertices.
+func dolpPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, oldLbs, newLbs []uint32, oldFr, newFr *frontierState, proto I) int64 {
+	offs, adj := g.Offsets(), g.Adjacency()
+	active := oldFr.extract(pool)
+	var changed int64
+	parallel.For(pool, len(active), 512, func(tid, lo, hi int) {
+		ins := proto.Fresh()
+		var local int64
+		for _, v := range active[lo:hi] {
+			iVisit(ins)
+			lv := oldLbs[v]
+			iLoad(ins)
+			for _, u := range adj[offs[v]:offs[v+1]] {
+				iEdge(ins)
+				iLoad(ins)
+				iCAS(ins)
+				iBranch(ins)
+				iTouch(ins, u)
+				if atomicx.MinUint32(&newLbs[u], lv) {
+					iStore(ins)
+					if newFr.bm.SetAtomic(int(u)) {
+						local++
+					}
+				}
+			}
+		}
+		iFlush(ins, tid)
+		atomic.AddInt64(&changed, local)
+	})
+	return changed
+}
+
+// dolpPull runs one DO-LP pull iteration: every vertex takes the minimum of
+// its neighbours' old labels into its new label, marking changed vertices in
+// the new frontier bitmap. Returns the number of changed vertices.
+func dolpPull[I instr[I]](g *graph.Graph, sch *scheduler, oldLbs, newLbs []uint32, newFr *frontierState, proto I) int64 {
+	offs, adj := g.Offsets(), g.Adjacency()
+	var changed int64
+	sch.sweep(func(tid, lo, hi int) {
+		ins := proto.Fresh()
+		var local int64
+		for v := lo; v < hi; v++ {
+			iVisit(ins)
+			newLabel := oldLbs[v]
+			iLoad(ins)
+			iTouch(ins, uint32(v))
+			for _, u := range adj[offs[v]:offs[v+1]] {
+				iEdge(ins)
+				iLoad(ins)
+				iBranch(ins)
+				iTouch(ins, u)
+				if l := oldLbs[u]; l < newLabel {
+					newLabel = l
+				}
+			}
+			iBranch(ins)
+			if newLabel < oldLbs[v] {
+				newLbs[v] = newLabel
+				iStore(ins)
+				newFr.bm.SetAtomic(v) // chunks share words at their edges
+				local++
+			}
+		}
+		iFlush(ins, tid)
+		atomic.AddInt64(&changed, local)
+	})
+	return changed
 }

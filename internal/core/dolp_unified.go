@@ -23,6 +23,13 @@ import (
 // Thrifty's total improvement in the paper), and the gap between
 // DOLPUnified and Thrifty measures the other three techniques combined.
 func DOLPUnified(g *graph.Graph, cfg Config) Result {
+	if cfg.fastInstr() {
+		return dolpUnifiedRun(g, cfg, noInstr{})
+	}
+	return dolpUnifiedRun(g, cfg, newCounting(cfg))
+}
+
+func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
 	threshold := cfg.threshold(DefaultDOLPThreshold)
@@ -49,66 +56,11 @@ func DOLPUnified(g *graph.Graph, cfg Config) Result {
 		if density < threshold {
 			kind = counters.KindPush
 			res.PushIterations++
-			active := oldFr.extract(pool)
-			parallel.For(pool, len(active), 512, func(tid, lo, hi int) {
-				var local int64
-				var ck chunkCounts
-				for _, v := range active[lo:hi] {
-					ck.visits++
-					lv := atomicx.LoadUint32(&labels[v])
-					ck.loads++
-					for _, u := range g.Neighbors(v) {
-						ck.edges++
-						ck.loads++
-						ck.cas++
-						ck.branches++
-						cfg.Lines.Touch(u)
-						if atomicx.MinUint32(&labels[u], lv) {
-							ck.stores++
-							if newFr.bm.SetAtomic(int(u)) {
-								local++
-							}
-						}
-					}
-				}
-				ck.flush(cfg.Ctr, tid)
-				atomic.AddInt64(&changed, local)
-			})
+			changed = dolpUnifiedPush(g, pool, labels, &oldFr, &newFr, proto)
 		} else {
 			kind = counters.KindPull
 			res.PullIterations++
-			sch.sweep(func(tid, lo, hi int) {
-				var local int64
-				var ck chunkCounts
-				for v := lo; v < hi; v++ {
-					ck.visits++
-					own := atomicx.LoadUint32(&labels[v])
-					newLabel := own
-					ck.loads++
-					cfg.Lines.Touch(uint32(v))
-					for _, u := range g.Neighbors(uint32(v)) {
-						ck.edges++
-						ck.loads++
-						ck.branches++
-						cfg.Lines.Touch(u)
-						// The unified-array read: this may observe a label
-						// written earlier in this same iteration, which is
-						// what accelerates wavefront propagation.
-						if l := atomicx.LoadUint32(&labels[u]); l < newLabel {
-							newLabel = l
-						}
-					}
-					ck.branches++
-					if newLabel < own {
-						atomicx.StoreUint32(&labels[v], newLabel)
-						ck.stores++
-						newFr.bm.SetAtomic(v) // chunks share words at their edges
-						local++
-					}
-				}
-				ck.flush(cfg.Ctr, tid)
-				atomic.AddInt64(&changed, local)
-			})
+			changed = dolpUnifiedPull(g, sch, labels, &newFr, proto)
 		}
 
 		newFr.recount(pool, g)
@@ -132,4 +84,76 @@ func DOLPUnified(g *graph.Graph, cfg Config) Result {
 	}
 	res.Labels = labels
 	return res
+}
+
+// dolpUnifiedPush runs one push iteration over the unified labels array:
+// identical to DO-LP's push except source labels are read (atomically) from
+// the same array the atomic-min writes target.
+func dolpUnifiedPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []uint32, oldFr, newFr *frontierState, proto I) int64 {
+	offs, adj := g.Offsets(), g.Adjacency()
+	active := oldFr.extract(pool)
+	var changed int64
+	parallel.For(pool, len(active), 512, func(tid, lo, hi int) {
+		ins := proto.Fresh()
+		var local int64
+		for _, v := range active[lo:hi] {
+			iVisit(ins)
+			lv := atomicx.LoadUint32(&labels[v])
+			iLoad(ins)
+			for _, u := range adj[offs[v]:offs[v+1]] {
+				iEdge(ins)
+				iLoad(ins)
+				iCAS(ins)
+				iBranch(ins)
+				iTouch(ins, u)
+				if atomicx.MinUint32(&labels[u], lv) {
+					iStore(ins)
+					if newFr.bm.SetAtomic(int(u)) {
+						local++
+					}
+				}
+			}
+		}
+		iFlush(ins, tid)
+		atomic.AddInt64(&changed, local)
+	})
+	return changed
+}
+
+// dolpUnifiedPull runs one pull iteration over the unified labels array. The
+// neighbour read may observe a label written earlier in this same iteration,
+// which is what accelerates wavefront propagation.
+func dolpUnifiedPull[I instr[I]](g *graph.Graph, sch *scheduler, labels []uint32, newFr *frontierState, proto I) int64 {
+	offs, adj := g.Offsets(), g.Adjacency()
+	var changed int64
+	sch.sweep(func(tid, lo, hi int) {
+		ins := proto.Fresh()
+		var local int64
+		for v := lo; v < hi; v++ {
+			iVisit(ins)
+			own := atomicx.LoadUint32(&labels[v])
+			newLabel := own
+			iLoad(ins)
+			iTouch(ins, uint32(v))
+			for _, u := range adj[offs[v]:offs[v+1]] {
+				iEdge(ins)
+				iLoad(ins)
+				iBranch(ins)
+				iTouch(ins, u)
+				if l := atomicx.LoadUint32(&labels[u]); l < newLabel {
+					newLabel = l
+				}
+			}
+			iBranch(ins)
+			if newLabel < own {
+				atomicx.StoreUint32(&labels[v], newLabel)
+				iStore(ins)
+				newFr.bm.SetAtomic(v) // chunks share words at their edges
+				local++
+			}
+		}
+		iFlush(ins, tid)
+		atomic.AddInt64(&changed, local)
+	})
+	return changed
 }

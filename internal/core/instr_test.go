@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+	"thriftylp/internal/counters"
+	"thriftylp/internal/parallel"
+)
+
+// The instrumentation-policy split (instr.go) must be invisible to results:
+// the monomorphized fast path and the counting path are the same kernel, so
+// they must produce identical labels, and the counting path must report the
+// same counter totals as the pre-split implementation did.
+
+// instrFixtures are small deterministic graphs exercising every traversal
+// regime: hub push, long sparse chains, multiple components, and RMAT /
+// web-analog skew.
+func instrFixtures(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+	for name, build := range map[string]func() (*graph.Graph, error){
+		"figure2":        gen.PaperFigure2,
+		"star-64":        func() (*graph.Graph, error) { return gen.Star(64) },
+		"path-100":       func() (*graph.Graph, error) { return gen.Path(100) },
+		"components-4x8": func() (*graph.Graph, error) { return gen.Components(4, 8) },
+		"rmat-small":     func() (*graph.Graph, error) { return gen.RMATCompact(gen.DefaultRMAT(12, 8, 7)) },
+		"weblike-small":  func() (*graph.Graph, error) { return gen.Web(gen.DefaultWeb(10, 7)) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("building %s: %v", name, err)
+		}
+		out[name] = g
+	}
+	return out
+}
+
+var instrAlgos = map[string]func(*graph.Graph, Config) Result{
+	"thrifty":      Thrifty,
+	"dolp":         DOLP,
+	"dolp-unified": DOLPUnified,
+	"lp":           LP,
+}
+
+// TestFastPathMatchesInstrumented asserts the noInstr and counting kernel
+// instantiations compute identical results. Both runs share a 1-thread pool:
+// the label fixed point is unique per algorithm regardless of scheduling,
+// but iteration counts are timing-sensitive on the unified labels array
+// (in-iteration visibility depends on interleaving), and the policy-
+// equivalence claim is about traversal structure, not scheduling luck.
+func TestFastPathMatchesInstrumented(t *testing.T) {
+	pool := parallel.NewPool(1)
+	defer pool.Close()
+	for name, g := range instrFixtures(t) {
+		for algo, run := range instrAlgos {
+			t.Run(fmt.Sprintf("%s/%s", name, algo), func(t *testing.T) {
+				fastCfg := Config{Pool: pool}
+				if !fastCfg.fastInstr() {
+					t.Fatal("counter-free Config should select the fast path")
+				}
+				fast := run(g, fastCfg)
+
+				instCfg := Config{
+					Pool:  pool,
+					Ctr:   counters.New(1),
+					Lines: counters.NewLineTracker(g.NumVertices()),
+					Trace: &counters.Trace{},
+				}
+				if instCfg.fastInstr() {
+					t.Fatal("instrumented Config must not select the fast path")
+				}
+				inst := run(g, instCfg)
+
+				if fast.Iterations != inst.Iterations {
+					t.Errorf("iterations diverge: fast %d, instrumented %d", fast.Iterations, inst.Iterations)
+				}
+				for v := range fast.Labels {
+					if fast.Labels[v] != inst.Labels[v] {
+						t.Fatalf("label diverges at vertex %d: fast %d, instrumented %d",
+							v, fast.Labels[v], inst.Labels[v])
+					}
+				}
+				if instCfg.Ctr.Total(counters.EdgesProcessed) == 0 && g.NumDirectedEdges() > 0 {
+					t.Error("instrumented run recorded no edge traversals")
+				}
+			})
+		}
+	}
+}
+
+// seedCounterGoldens pins the instrumented counter totals measured on the
+// pre-policy (seed) implementation with a single-thread pool, where
+// traversal order — and therefore every counter — is deterministic. The
+// policy split must not change what the counting path counts.
+var seedCounterGoldens = []struct {
+	fixture                                            string
+	algo                                               string
+	edges, visits, loads, stores, cas, branches, lines int64
+}{
+	{"figure2", "thrifty", 8, 22, 26, 6, 4, 35, 4},
+	{"figure2", "dolp", 80, 35, 150, 52, 0, 115, 15},
+	{"figure2", "dolp-unified", 32, 14, 46, 6, 0, 46, 2},
+	{"figure2", "lp", 80, 35, 115, 17, 0, 115, 0},
+	{"star-64", "thrifty", 63, 65, 65, 63, 63, 127, 8},
+	{"star-64", "dolp", 252, 128, 508, 191, 0, 380, 24},
+	{"star-64", "dolp-unified", 252, 128, 380, 63, 0, 380, 8},
+	{"star-64", "lp", 252, 128, 380, 63, 0, 380, 0},
+	{"path-100", "thrifty", 99, 201, 298, 99, 2, 493, 15},
+	{"path-100", "dolp", 19215, 9706, 38921, 14950, 9, 28915, 2082},
+	{"path-100", "dolp-unified", 396, 200, 596, 99, 0, 596, 14},
+	{"path-100", "lp", 19800, 10000, 29800, 4950, 0, 29800, 0},
+	{"components-4x8", "thrifty", 343, 65, 401, 28, 7, 476, 5},
+	{"components-4x8", "dolp", 448, 64, 576, 92, 0, 512, 12},
+	{"components-4x8", "dolp-unified", 448, 64, 512, 28, 0, 512, 4},
+	{"components-4x8", "lp", 448, 64, 512, 28, 0, 512, 0},
+}
+
+func TestInstrumentedCountersMatchSeed(t *testing.T) {
+	fixtures := instrFixtures(t)
+	pool := parallel.NewPool(1)
+	defer pool.Close()
+	for _, gold := range seedCounterGoldens {
+		t.Run(fmt.Sprintf("%s/%s", gold.fixture, gold.algo), func(t *testing.T) {
+			g := fixtures[gold.fixture]
+			cfg := Config{
+				Pool:  pool,
+				Ctr:   counters.New(1),
+				Lines: counters.NewLineTracker(g.NumVertices()),
+				Trace: &counters.Trace{},
+			}
+			instrAlgos[gold.algo](g, cfg)
+			got := map[string]int64{
+				"edges":         cfg.Ctr.Total(counters.EdgesProcessed),
+				"vertex-visits": cfg.Ctr.Total(counters.VertexVisits),
+				"label-loads":   cfg.Ctr.Total(counters.LabelLoads),
+				"label-stores":  cfg.Ctr.Total(counters.LabelStores),
+				"cas-ops":       cfg.Ctr.Total(counters.CASOps),
+				"branch-checks": cfg.Ctr.Total(counters.BranchChecks),
+				"cache-lines":   cfg.Ctr.Total(counters.CacheLines),
+			}
+			want := map[string]int64{
+				"edges":         gold.edges,
+				"vertex-visits": gold.visits,
+				"label-loads":   gold.loads,
+				"label-stores":  gold.stores,
+				"cas-ops":       gold.cas,
+				"branch-checks": gold.branches,
+				"cache-lines":   gold.lines,
+			}
+			for k, w := range want {
+				if got[k] != w {
+					t.Errorf("%s: got %d, seed value %d", k, got[k], w)
+				}
+			}
+		})
+	}
+}
+
+// TestFastInstrSelection pins the policy-selection rule: the fast path is
+// chosen exactly when counters, line tracking and tracing are all absent.
+func TestFastInstrSelection(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		fast bool
+	}{
+		{"zero-config", Config{}, true},
+		{"tuning-only", Config{Threshold: 0.05, NoInitialPush: true, DynamicScheduling: true}, true},
+		{"counters", Config{Ctr: counters.New(1)}, false},
+		{"lines", Config{Lines: counters.NewLineTracker(16)}, false},
+		{"trace", Config{Trace: &counters.Trace{}}, false},
+	}
+	for _, c := range cases {
+		if got := c.cfg.fastInstr(); got != c.fast {
+			t.Errorf("%s: fastInstr() = %v, want %v", c.name, got, c.fast)
+		}
+	}
+}

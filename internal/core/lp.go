@@ -14,6 +14,13 @@ import (
 // the semantic reference the optimized variants are validated against, and
 // the zero line for measuring what DO-LP's frontier machinery buys.
 func LP(g *graph.Graph, cfg Config) Result {
+	if cfg.fastInstr() {
+		return lpRun(g, cfg, noInstr{})
+	}
+	return lpRun(g, cfg, newCounting(cfg))
+}
+
+func lpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
 	oldLbs := make([]uint32, n)
@@ -25,34 +32,7 @@ func LP(g *graph.Graph, cfg Config) Result {
 	iters := 0
 	maxIters := cfg.maxIters(n)
 	for iters < maxIters {
-		var changed int64
-		sch.sweep(func(tid, lo, hi int) {
-			var local int64
-			var ck chunkCounts
-			for v := lo; v < hi; v++ {
-				ck.visits++
-				newLabel := oldLbs[v]
-				ck.loads++
-				for _, u := range g.Neighbors(uint32(v)) {
-					ck.edges++
-					ck.loads++
-					ck.branches++
-					if l := oldLbs[u]; l < newLabel {
-						newLabel = l
-					}
-				}
-				ck.branches++
-				if newLabel < oldLbs[v] {
-					newLbs[v] = newLabel
-					ck.stores++
-					local++
-				}
-			}
-			ck.flush(cfg.Ctr, tid)
-			if local > 0 {
-				atomic.AddInt64(&changed, local)
-			}
-		})
+		changed := lpSweep(g, sch, oldLbs, newLbs, proto)
 		iters++
 		if changed == 0 {
 			break
@@ -60,4 +40,40 @@ func LP(g *graph.Graph, cfg Config) Result {
 		parallel.Copy(pool, oldLbs, newLbs)
 	}
 	return Result{Labels: newLbs, Iterations: iters, PullIterations: iters}
+}
+
+// lpSweep runs one synchronous pull sweep: every vertex's new label becomes
+// the minimum over itself and its neighbours in the old array. Returns the
+// number of changed vertices.
+func lpSweep[I instr[I]](g *graph.Graph, sch *scheduler, oldLbs, newLbs []uint32, proto I) int64 {
+	offs, adj := g.Offsets(), g.Adjacency()
+	var changed int64
+	sch.sweep(func(tid, lo, hi int) {
+		ins := proto.Fresh()
+		var local int64
+		for v := lo; v < hi; v++ {
+			iVisit(ins)
+			newLabel := oldLbs[v]
+			iLoad(ins)
+			for _, u := range adj[offs[v]:offs[v+1]] {
+				iEdge(ins)
+				iLoad(ins)
+				iBranch(ins)
+				if l := oldLbs[u]; l < newLabel {
+					newLabel = l
+				}
+			}
+			iBranch(ins)
+			if newLabel < oldLbs[v] {
+				newLbs[v] = newLabel
+				iStore(ins)
+				local++
+			}
+		}
+		iFlush(ins, tid)
+		if local > 0 {
+			atomic.AddInt64(&changed, local)
+		}
+	})
+	return changed
 }

@@ -31,7 +31,19 @@ import (
 // iteration to materialize a detailed frontier when switching to push; and
 // sparse frontiers held in per-thread worklists with a shared mark array
 // and chunked work stealing.
+//
+// The traversal kernels are generic over the instrumentation policy (see
+// instr.go): plain runs take the monomorphized fast path, runs with
+// counters/trace/lines enabled take the counting path with identical
+// traversal structure.
 func Thrifty(g *graph.Graph, cfg Config) Result {
+	if cfg.fastInstr() {
+		return thriftyRun(g, cfg, noInstr{})
+	}
+	return thriftyRun(g, cfg, newCounting(cfg))
+}
+
+func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
 	if n == 0 {
@@ -45,12 +57,11 @@ func Thrifty(g *graph.Graph, cfg Config) Result {
 	labels := make([]uint32, n)
 
 	// --- Zero Planting (Algorithm 2 lines 2-9) ---
-	// labels[v] = v+1 with a per-thread max-degree reduction, then the
-	// max-degree vertex receives the reserved label 0.
+	// labels[v] = v+1, then the max-degree vertex — memoized in the CSR at
+	// construction, so no per-run reduction is paid — receives the reserved
+	// label 0.
 	parallel.Fill(pool, labels, func(i int) uint32 { return uint32(i) + 1 })
-	maxV := uint32(parallel.MaxIndex(pool, n, func(i int) int64 {
-		return int64(g.Degree(uint32(i)))
-	}))
+	maxV := g.MaxDegreeVertex()
 	if cfg.PlantVertexSet {
 		// Ablation/override: plant at a caller-chosen vertex instead of
 		// the max-degree heuristic.
@@ -85,7 +96,8 @@ func Thrifty(g *graph.Graph, cfg Config) Result {
 
 	// --- Initial Push (Algorithm 2 lines 11-12) ---
 	// One push iteration propagating the planted 0 from the hub to its
-	// neighbours. This is iteration 0 and is counted as an iteration (§V-C).
+	// neighbours. This is iteration 0 and is counted as an iteration (§V-C);
+	// it is the same kernel as every later push, over a one-vertex frontier.
 	var activeV, activeE int64
 	if cfg.NoInitialPush {
 		// Ablation: start the way DO-LP does — everything active, forcing
@@ -95,35 +107,7 @@ func Thrifty(g *graph.Graph, cfg Config) Result {
 		start := time.Now()
 		ebefore := cfg.Ctr.Total(counters.EdgesProcessed)
 		cur.AddUnchecked(0, maxV)
-		var av, ae int64
-		pool.Run(func(tid int) {
-			var localV, localE int64
-			var ck chunkCounts
-			cur.Drain(tid, func(v uint32) {
-				ck.visits++
-				lv := atomicx.LoadUint32(&labels[v])
-				ck.loads++
-				for _, u := range g.Neighbors(v) {
-					ck.edges++
-					ck.cas++
-					ck.branches++
-					cfg.Lines.Touch(u)
-					if atomicx.MinUint32(&labels[u], lv) {
-						ck.stores++
-						wasNew := !next.Contains(u)
-						next.Add(tid, u)
-						if wasNew {
-							localV++
-							localE += int64(g.Degree(u))
-						}
-					}
-				}
-			})
-			ck.flush(cfg.Ctr, tid)
-			atomic.AddInt64(&av, localV)
-			atomic.AddInt64(&ae, localE)
-		})
-		activeV, activeE = av, ae
+		activeV, activeE = thriftyPush(g, pool, labels, cur, next, 1+int64(g.Degree(maxV)), proto)
 		cur, next = next, cur
 		next.Reset()
 		cfg.Lines.FlushIteration(cfg.Ctr, 0)
@@ -157,7 +141,7 @@ func Thrifty(g *graph.Graph, cfg Config) Result {
 		switch {
 		case didPull && density < threshold && haveFrontier:
 			// --- Push traversal over the detailed sparse frontier ---
-			activeV, activeE = thriftyPush(g, cfg, pool, labels, cur, next)
+			activeV, activeE = thriftyPush(g, pool, labels, cur, next, activeV+activeE, proto)
 			cur, next = next, cur
 			next.Reset()
 			res.Iterations++
@@ -171,7 +155,7 @@ func Thrifty(g *graph.Graph, cfg Config) Result {
 			// became active so the following push iterations have a
 			// worklist to consume.
 			cur.Reset()
-			activeV, activeE = thriftyPull(g, cfg, sch, labels, cur, true)
+			activeV, activeE = thriftyPull(g, sch, labels, cur, true, proto)
 			haveFrontier = true
 			res.Iterations++
 			res.PullIterations++
@@ -185,10 +169,10 @@ func Thrifty(g *graph.Graph, cfg Config) Result {
 			// counting-only design avoids).
 			if cfg.EagerFrontier {
 				cur.Reset()
-				activeV, activeE = thriftyPull(g, cfg, sch, labels, cur, true)
+				activeV, activeE = thriftyPull(g, sch, labels, cur, true, proto)
 				haveFrontier = true
 			} else {
-				activeV, activeE = thriftyPull(g, cfg, sch, labels, nil, false)
+				activeV, activeE = thriftyPull(g, sch, labels, nil, false, proto)
 				haveFrontier = false
 			}
 			didPull = true
@@ -203,42 +187,54 @@ func Thrifty(g *graph.Graph, cfg Config) Result {
 	return res
 }
 
+// pushSeqCutoff is the |F.V|+|F.E| estimate below which a push iteration
+// runs on the calling thread instead of waking the pool: parking/unparking
+// the workers costs more than traversing a few thousand edges, and web-like
+// graphs spend dozens of iterations on chain frontiers this small.
+const pushSeqCutoff = 4096
+
 // thriftyPush runs one push iteration: each frontier vertex propagates its
 // current label to its neighbours with atomic-min, collecting lowered
-// neighbours into next. Returns the new frontier's vertex count and degree
+// neighbours into next. work is the caller's |F.V|+|F.E| estimate for cur
+// (negative = unknown); frontiers under pushSeqCutoff are drained
+// sequentially. Returns the new frontier's vertex count and degree
 // sum. Frontier consumption uses chunked work stealing (own list first,
 // then other threads' lists), and a racing duplicate insertion — permitted
 // by the mark array's non-CAS discipline — at worst processes a vertex
 // twice, which is harmless because labels only decrease.
-func thriftyPush(g *graph.Graph, cfg Config, pool *parallel.Pool, labels []uint32, cur, next *worklist.Set) (int64, int64) {
+func thriftyPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []uint32, cur, next *worklist.Set, work int64, proto I) (int64, int64) {
+	offs, adj := g.Offsets(), g.Adjacency()
 	var av, ae int64
-	pool.Run(func(tid int) {
+	body := func(tid int) {
+		ins := proto.Fresh()
 		var localV, localE int64
-		var ck chunkCounts
 		cur.Drain(tid, func(v uint32) {
-			ck.visits++
+			iVisit(ins)
 			lv := atomicx.LoadUint32(&labels[v])
-			ck.loads++
-			for _, u := range g.Neighbors(v) {
-				ck.edges++
-				ck.cas++
-				ck.branches++
-				cfg.Lines.Touch(u)
+			iLoad(ins)
+			for _, u := range adj[offs[v]:offs[v+1]] {
+				iEdge(ins)
+				iCAS(ins)
+				iBranch(ins)
+				iTouch(ins, u)
 				if atomicx.MinUint32(&labels[u], lv) {
-					ck.stores++
-					wasNew := !next.Contains(u)
-					next.Add(tid, u)
-					if wasNew {
+					iStore(ins)
+					if next.AddIfAbsent(tid, u) {
 						localV++
-						localE += int64(g.Degree(u))
+						localE += offs[u+1] - offs[u]
 					}
 				}
 			}
 		})
-		ck.flush(cfg.Ctr, tid)
+		iFlush(ins, tid)
 		atomic.AddInt64(&av, localV)
 		atomic.AddInt64(&ae, localE)
-	})
+	}
+	if work >= 0 && work < pushSeqCutoff {
+		body(0)
+	} else {
+		pool.Run(body)
+	}
 	return av, ae
 }
 
@@ -248,46 +244,47 @@ func thriftyPush(g *graph.Graph, cfg Config, pool *parallel.Pool, labels []uint3
 // exists. When recordFrontier is set (the Pull-Frontier bridge iteration),
 // changed vertices are also inserted into fr. Returns the changed-vertex
 // count and degree sum, which drive the next direction decision.
-func thriftyPull(g *graph.Graph, cfg Config, sch *scheduler, labels []uint32, fr *worklist.Set, recordFrontier bool) (int64, int64) {
+func thriftyPull[I instr[I]](g *graph.Graph, sch *scheduler, labels []uint32, fr *worklist.Set, recordFrontier bool, proto I) (int64, int64) {
+	offs, adj := g.Offsets(), g.Adjacency()
 	var av, ae int64
 	sch.sweep(func(tid, lo, hi int) {
+		ins := proto.Fresh()
 		var localV, localE int64
-		var ck chunkCounts
 		for v := lo; v < hi; v++ {
-			ck.visits++
-			ck.branches++
+			iVisit(ins)
+			iBranch(ins)
 			own := atomicx.LoadUint32(&labels[v])
-			ck.loads++
-			cfg.Lines.Touch(uint32(v))
+			iLoad(ins)
+			iTouch(ins, uint32(v))
 			if own == 0 {
 				continue // Zero Convergence: v has converged (line 24)
 			}
 			newLabel := own
-			for _, u := range g.Neighbors(uint32(v)) {
-				ck.edges++
-				ck.loads++
-				ck.branches++
-				cfg.Lines.Touch(u)
+			for _, u := range adj[offs[v]:offs[v+1]] {
+				iEdge(ins)
+				iLoad(ins)
+				iBranch(ins)
+				iTouch(ins, u)
 				if l := atomicx.LoadUint32(&labels[u]); l < newLabel {
 					newLabel = l
-					ck.branches++
+					iBranch(ins)
 					if newLabel == 0 {
 						break // Zero Convergence: nothing smaller exists (line 31)
 					}
 				}
 			}
-			ck.branches++
+			iBranch(ins)
 			if newLabel < own {
 				atomicx.StoreUint32(&labels[uint32(v)], newLabel)
-				ck.stores++
+				iStore(ins)
 				localV++
-				localE += int64(g.Degree(uint32(v)))
+				localE += offs[v+1] - offs[v]
 				if recordFrontier {
 					fr.Add(tid, uint32(v))
 				}
 			}
 		}
-		ck.flush(cfg.Ctr, tid)
+		iFlush(ins, tid)
 		atomic.AddInt64(&av, localV)
 		atomic.AddInt64(&ae, localE)
 	})

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+)
+
+// This file is the machine-readable perf-regression harness: the same two
+// medium-scale skewed fixtures the BenchmarkThrifty gate runs on, timed
+// uninstrumented (fast path) for every label-propagation algorithm, exported
+// as JSON so the throughput trajectory can be tracked across commits
+// (`make bench-json` writes BENCH_thrifty.json).
+
+// RegressionFixture is one deterministic graph of the perf-regression suite.
+type RegressionFixture struct {
+	Name  string
+	Build func() (*graph.Graph, error)
+}
+
+// RegressionFixtures returns the perf-gate fixtures: a pure RMAT social
+// analog (pull-heavy, few iterations) and a web-crawl analog (skewed core
+// plus pendant chains, the push-heavy many-iteration regime). Both are
+// seed-deterministic so numbers are comparable across runs and commits.
+func RegressionFixtures() []RegressionFixture {
+	return []RegressionFixture{
+		{"rmat-medium", func() (*graph.Graph, error) {
+			return gen.RMATCompact(gen.DefaultRMAT(17, 16, 42))
+		}},
+		{"weblike-medium", func() (*graph.Graph, error) {
+			return gen.Web(gen.DefaultWeb(16, 42))
+		}},
+	}
+}
+
+// regressionAlgos are the traversal kernels sharing the instrumentation-
+// policy design; all are timed so a fast-path regression in any kernel is
+// visible, not just in the headline algorithm.
+var regressionAlgos = []cc.Algorithm{
+	cc.AlgoThrifty, cc.AlgoDOLP, cc.AlgoDOLPUnified, cc.AlgoLP,
+}
+
+// BenchRecord is one (algorithm, dataset) measurement.
+type BenchRecord struct {
+	Algorithm   string  `json:"algorithm"`
+	Dataset     string  `json:"dataset"`
+	Vertices    int     `json:"vertices"`
+	Edges       int64   `json:"edges"`
+	Iterations  int     `json:"iterations"`
+	NsPerRun    int64   `json:"ns_per_run"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	Reps        int     `json:"reps"`
+}
+
+// BenchReport is the full regression run, as serialized to
+// BENCH_thrifty.json.
+type BenchReport struct {
+	// GoMaxProcs records the parallelism the numbers were taken at; absolute
+	// throughput is machine-dependent, but the report is primarily read as a
+	// same-machine trajectory.
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Threads    int           `json:"threads"` // 0 = GOMAXPROCS pool
+	Records    []BenchRecord `json:"records"`
+}
+
+// BenchRegression times every label-propagation algorithm, uninstrumented,
+// on the regression fixtures: one warmup run plus cfg.Reps timed runs per
+// cell, minimum reported (the paper's convention for eliminating scheduler
+// noise, and the same discipline as TimeAlgorithm).
+func BenchRegression(cfg RunConfig) (BenchReport, error) {
+	rep := BenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Threads: cfg.Threads}
+	for _, f := range RegressionFixtures() {
+		g, err := f.Build()
+		if err != nil {
+			return BenchReport{}, fmt.Errorf("building %s: %w", f.Name, err)
+		}
+		for _, a := range regressionAlgos {
+			best, res, err := TimeAlgorithm(a, g, cfg)
+			if err != nil {
+				return BenchReport{}, fmt.Errorf("%s on %s: %w", a, f.Name, err)
+			}
+			rep.Records = append(rep.Records, BenchRecord{
+				Algorithm:   string(a),
+				Dataset:     f.Name,
+				Vertices:    g.NumVertices(),
+				Edges:       g.NumEdges(),
+				Iterations:  res.Iterations,
+				NsPerRun:    best.Nanoseconds(),
+				EdgesPerSec: float64(g.NumEdges()) / best.Seconds(),
+				Reps:        cfg.reps(),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report to path, indented for reviewable diffs.
+func (r BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render formats the report as an aligned console table.
+func (r BenchReport) Render() string {
+	out := fmt.Sprintf("Perf regression (uninstrumented fast path, min of %s reps)\n",
+		pluralReps(r.Records))
+	out += fmt.Sprintf("%-14s %-16s %10s %12s %6s %12s\n",
+		"algorithm", "dataset", "ms/run", "Medges/s", "iters", "edges")
+	for _, rec := range r.Records {
+		out += fmt.Sprintf("%-14s %-16s %10.3f %12.1f %6d %12d\n",
+			rec.Algorithm, rec.Dataset,
+			float64(rec.NsPerRun)/float64(time.Millisecond),
+			rec.EdgesPerSec/1e6, rec.Iterations, rec.Edges)
+	}
+	return out
+}
+
+func pluralReps(recs []BenchRecord) string {
+	if len(recs) == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%d", recs[0].Reps)
+}

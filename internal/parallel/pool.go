@@ -78,7 +78,16 @@ func (p *Pool) worker(tid int) {
 // Run executes job(tid) on every worker concurrently and returns when all
 // workers have finished. Run must not be called concurrently with itself or
 // Close; algorithms call it from a single master goroutine.
+//
+// A single-thread pool runs the job inline on the calling goroutine: the
+// semantics (one invocation with tid 0, Run returns when it finishes) are
+// identical, and iteration loops skip two goroutine handoffs per region —
+// a fixed cost that dominates sparse-frontier iterations.
 func (p *Pool) Run(job func(tid int)) {
+	if p.threads == 1 {
+		job(0)
+		return
+	}
 	p.mu.Lock()
 	p.job = job
 	p.gen++

@@ -60,6 +60,22 @@ func (s *Set) Add(tid int, v uint32) {
 	s.lists[tid] = append(s.lists[tid], v)
 }
 
+// AddIfAbsent inserts v into thread tid's local worklist unless the shared
+// mark array already shows it present, and reports whether v was inserted.
+// It folds the Contains+Add pair the push kernels used into a single atomic
+// load (plus the store on the absent path). As with Add, the check-then-mark
+// is intentionally not atomic as a unit: two racing callers may both observe
+// "absent", both insert, and both return true — the benign duplicate the
+// package comment describes.
+func (s *Set) AddIfAbsent(tid int, v uint32) bool {
+	if atomic.LoadUint32(&s.marked[v]) != 0 {
+		return false
+	}
+	atomic.StoreUint32(&s.marked[v], 1)
+	s.lists[tid] = append(s.lists[tid], v)
+	return true
+}
+
 // AddUnchecked appends v to tid's list and marks it, skipping the duplicate
 // check. Used when the caller already knows v is absent (e.g., seeding the
 // initial-push frontier with the single planted vertex).

@@ -91,6 +91,32 @@ func TestResetAllowsReuse(t *testing.T) {
 	}
 }
 
+func TestAddIfAbsent(t *testing.T) {
+	s := New(100, 2)
+	if !s.AddIfAbsent(0, 5) {
+		t.Fatal("first AddIfAbsent(5) should report insertion")
+	}
+	if s.AddIfAbsent(1, 5) {
+		t.Fatal("second AddIfAbsent(5) should report already-present")
+	}
+	if !s.Contains(5) || s.Len() != 1 {
+		t.Fatalf("after AddIfAbsent: Contains(5)=%v Len=%d", s.Contains(5), s.Len())
+	}
+	// Must also see vertices queued by the other insertion paths.
+	s.Add(0, 7)
+	if s.AddIfAbsent(1, 7) {
+		t.Fatal("AddIfAbsent must report vertices inserted via Add as present")
+	}
+	s.AddUnchecked(0, 9)
+	if s.AddIfAbsent(1, 9) {
+		t.Fatal("AddIfAbsent must report vertices inserted via AddUnchecked as present")
+	}
+	s.Reset()
+	if !s.AddIfAbsent(0, 5) {
+		t.Fatal("Reset should clear marks so AddIfAbsent inserts again")
+	}
+}
+
 func TestAddUnchecked(t *testing.T) {
 	s := New(10, 1)
 	s.AddUnchecked(0, 3)
