@@ -1,0 +1,180 @@
+package cc_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"thriftylp/cc"
+	"thriftylp/graph/gen"
+)
+
+// TestRunContextDeadCancelsEveryAlgorithm: a context that is already dead at
+// entry must fail fast for every algorithm with a CanceledError that
+// errors.Is-matches the context's error.
+func TestRunContextDeadCancelsEveryAlgorithm(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, a := range cc.Algorithms() {
+		_, err := cc.RunContext(ctx, a, g)
+		var ce *cc.CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: err = %v, want *CanceledError", a, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err does not unwrap to context.Canceled", a)
+		}
+		if ce.Algorithm != a {
+			t.Fatalf("%s: CanceledError.Algorithm = %s", a, ce.Algorithm)
+		}
+	}
+}
+
+// TestRunContextExpiredDeadline: an expired deadline is reported as
+// context.DeadlineExceeded, distinguishable from explicit cancellation.
+func TestRunContextExpiredDeadline(t *testing.T) {
+	g, err := gen.Path(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, rerr := cc.RunContext(ctx, cc.AlgoThrifty, g)
+	if !errors.Is(rerr, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", rerr)
+	}
+	if errors.Is(rerr, context.Canceled) {
+		t.Fatal("deadline expiry matched context.Canceled")
+	}
+}
+
+// TestRunContextCancelMidRun cancels from the per-iteration callback — which
+// runs synchronously inside the driver loop — so the stop lands while the
+// algorithm is between iterations: the run must stop at the boundary and
+// return diagnostics plus the partial result. A path graph needs ~n
+// iterations to converge, so an honoured cancel is unambiguous.
+func TestRunContextCancelMidRun(t *testing.T) {
+	const n = 4096
+	g, err := gen.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inst := &cc.Instrumentation{}
+	inst.OnIteration = func(it cc.IterationStats, _ []uint32) {
+		if it.Index == 0 {
+			cancel()
+			// AfterFunc delivers the stop on its own goroutine; block the
+			// driver (this callback is synchronous) until it has landed so
+			// the boundary check after this iteration must observe it.
+			<-ctx.Done()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	res, rerr := cc.RunContext(ctx, cc.AlgoDOLP, g, cc.WithInstrumentation(inst))
+	var ce *cc.CanceledError
+	if !errors.As(rerr, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", rerr)
+	}
+	if ce.Iterations == 0 || ce.Phase == "" {
+		t.Fatalf("diagnostics not populated: %+v", ce)
+	}
+	if ce.Iterations > 4 {
+		t.Fatalf("cancelled at iteration 0 but ran %d iterations (convergence takes ~%d)", ce.Iterations, n)
+	}
+	if len(res.Labels) != g.NumVertices() {
+		t.Fatalf("partial result has %d labels, want %d", len(res.Labels), g.NumVertices())
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: an uncancellable context must be
+// indistinguishable from Run — same labels, no error.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err1 := cc.Run(cc.AlgoThrifty, g)
+	b, err2 := cc.RunContext(context.Background(), cc.AlgoThrifty, g)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs = %v, %v", err1, err2)
+	}
+	if !cc.Equivalent(a.Labels, b.Labels) {
+		t.Fatal("RunContext(background) labels differ from Run")
+	}
+}
+
+// TestRunContextRecoversPanic: a panic raised inside the run (here from the
+// per-iteration callback, which executes inside the algorithm) surfaces as a
+// *RunPanicError instead of crashing the caller, and the shared pool
+// remains usable for the next run.
+func TestRunContextRecoversPanic(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &cc.Instrumentation{}
+	inst.OnIteration = func(it cc.IterationStats, _ []uint32) {
+		panic("callback exploded")
+	}
+	_, rerr := cc.Run(cc.AlgoThrifty, g, cc.WithInstrumentation(inst))
+	var pe *cc.RunPanicError
+	if !errors.As(rerr, &pe) {
+		t.Fatalf("err = %v, want *RunPanicError", rerr)
+	}
+	if pe.Algorithm != cc.AlgoThrifty || pe.Value != "callback exploded" {
+		t.Fatalf("panic diagnostics wrong: %+v", pe)
+	}
+	// The boundary must leave everything reusable.
+	if res, err := cc.Run(cc.AlgoThrifty, g); err != nil || res.NumComponents() == 0 {
+		t.Fatalf("run after recovered panic: res=%+v err=%v", res, err)
+	}
+}
+
+// TestNumComponentsConcurrent: the lazily cached component count must be
+// safe to read from many goroutines (run with -race in CI).
+func TestNumComponentsConcurrent(t *testing.T) {
+	g, err := gen.Components(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.Run(cc.AlgoThrifty, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]int, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = res.NumComponents()
+		}(i)
+	}
+	wg.Wait()
+	for _, n := range got {
+		if n != 8 {
+			t.Fatalf("NumComponents = %v, want 8 everywhere", got)
+		}
+	}
+}
+
+// TestNumComponentsHandConstructed: a Result assembled by hand (no census
+// cache) still counts correctly, including the empty case.
+func TestNumComponentsHandConstructed(t *testing.T) {
+	r := &cc.Result{Labels: []uint32{3, 3, 7, 9}}
+	if n := r.NumComponents(); n != 3 {
+		t.Fatalf("NumComponents = %d, want 3", n)
+	}
+	empty := &cc.Result{}
+	if n := empty.NumComponents(); n != 0 {
+		t.Fatalf("empty NumComponents = %d, want 0", n)
+	}
+}

@@ -1,0 +1,78 @@
+package cc
+
+import (
+	"fmt"
+
+	"thriftylp/internal/parallel"
+)
+
+// CanceledError reports that a run was cancelled by its context before
+// converging, with partial-progress diagnostics. The Result returned
+// alongside it holds the algorithm's intermediate state at the point of
+// cancellation: for the label-propagation family a refinement en route to
+// the final partition, for union-find algorithms a partially built forest.
+//
+// errors.Is(err, context.Canceled) and errors.Is(err, context.
+// DeadlineExceeded) match through Unwrap, so callers can distinguish
+// explicit cancellation from a deadline.
+type CanceledError struct {
+	// Algorithm is the algorithm that was cancelled.
+	Algorithm Algorithm
+	// Iterations is the number of iterations completed before the stop
+	// was honoured.
+	Iterations int
+	// Phase names the phase the run was in when cancelled ("pull", "push",
+	// "hook", ...); empty when the context was already dead at entry.
+	Phase string
+	// Err is the context's error: context.Canceled or
+	// context.DeadlineExceeded.
+	Err error
+}
+
+func (e *CanceledError) Error() string {
+	if e.Phase == "" {
+		return fmt.Sprintf("cc: %s cancelled before starting: %v", e.Algorithm, e.Err)
+	}
+	return fmt.Sprintf("cc: %s cancelled after %d iterations in %s phase: %v",
+		e.Algorithm, e.Iterations, e.Phase, e.Err)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Err }
+
+// RunPanicError reports a panic recovered at the Run/RunContext boundary:
+// the algorithm (or one of its pool workers) panicked, and the panic was
+// converted to an error instead of unwinding into the caller.
+type RunPanicError struct {
+	// Algorithm is the algorithm that panicked.
+	Algorithm Algorithm
+	// Value is the recovered panic value. Panics raised on pool workers
+	// arrive as *parallel.PanicError, which carries the worker's stack.
+	Value any
+}
+
+func newRunPanicError(a Algorithm, v any) *RunPanicError {
+	return &RunPanicError{Algorithm: a, Value: v}
+}
+
+func (e *RunPanicError) Error() string {
+	return fmt.Sprintf("cc: %s panicked: %v", e.Algorithm, e.Value)
+}
+
+// Unwrap exposes the panic value when it is itself an error — in
+// particular *parallel.PanicError from a pool worker — so errors.As can
+// reach it.
+func (e *RunPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// WorkerStack returns the worker goroutine's stack when the panic
+// originated on a pool worker, nil otherwise.
+func (e *RunPanicError) WorkerStack() []byte {
+	if pe, ok := e.Value.(*parallel.PanicError); ok {
+		return pe.Stack
+	}
+	return nil
+}

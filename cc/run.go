@@ -1,7 +1,9 @@
 package cc
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"thriftylp/graph"
 	"thriftylp/internal/core"
@@ -20,20 +22,41 @@ type Result struct {
 	// PushIterations and PullIterations decompose label-propagation runs.
 	PushIterations, PullIterations int
 
-	numComponents int // lazily computed; 0 = unknown (valid graphs with 0 vertices have 0 components)
+	// census lazily caches the component count. A pointer rather than an
+	// embedded sync.Once so Result stays copyable (vet copylocks) and all
+	// copies of one run's Result share the cache.
+	census *resultCensus
+}
+
+// resultCensus is the shared, race-free NumComponents cache.
+type resultCensus struct {
+	once sync.Once
+	num  int
 }
 
 // NumComponents returns the number of connected components, computed on
-// first call.
+// first call and cached. Safe for concurrent use: parallel callers (e.g. a
+// benchmark harness reading results from several goroutines) observe one
+// consistent count computed exactly once.
 func (r *Result) NumComponents() int {
-	if r.numComponents == 0 && len(r.Labels) > 0 {
-		seen := make(map[uint32]struct{}, 64)
-		for _, l := range r.Labels {
-			seen[l] = struct{}{}
-		}
-		r.numComponents = len(seen)
+	if r.census == nil {
+		// Hand-constructed Result (every Result produced by Run carries a
+		// census): compute without caching rather than racing to install one.
+		return countComponents(r.Labels)
 	}
-	return r.numComponents
+	r.census.once.Do(func() { r.census.num = countComponents(r.Labels) })
+	return r.census.num
+}
+
+func countComponents(labels []uint32) int {
+	if len(labels) == 0 {
+		return 0
+	}
+	seen := make(map[uint32]struct{}, 64)
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
 }
 
 // ComponentOf returns v's component label.
@@ -92,8 +115,26 @@ func run(a Algorithm, g *graph.Graph, o *options) (core.Result, error) {
 	}
 }
 
-// Run executes algorithm a on g and returns its Result.
+// Run executes algorithm a on g and returns its Result. It is
+// RunContext with a background context: no cancellation, no deadline.
 func Run(a Algorithm, g *graph.Graph, opts ...Option) (Result, error) {
+	return RunContext(context.Background(), a, g, opts...)
+}
+
+// RunContext executes algorithm a on g under ctx.
+//
+// Cancellation is cooperative: when ctx is cancelled or its deadline
+// expires, the run stops at the next iteration or partition boundary —
+// typically well under one iteration's latency — and RunContext returns a
+// *CanceledError carrying partial-progress diagnostics (errors.Is matches
+// ctx.Err()). A context that can never be cancelled costs nothing: the
+// kernels then run the identical zero-instrumentation fast path as Run.
+//
+// Panic isolation: a panic inside the algorithm — on the calling goroutine
+// or any pool worker (surfaced as *parallel.PanicError) — is recovered at
+// this boundary and returned as a *RunPanicError rather than crashing the
+// caller. The worker pool remains usable afterwards.
+func RunContext(ctx context.Context, a Algorithm, g *graph.Graph, opts ...Option) (_ Result, err error) {
 	o := &options{}
 	for _, opt := range opts {
 		opt(o)
@@ -105,6 +146,19 @@ func Run(a Algorithm, g *graph.Graph, opts ...Option) (Result, error) {
 				o.pool.Close()
 			}
 		}()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, &CanceledError{Algorithm: a, Err: err}
+	}
+	if done := ctx.Done(); done != nil {
+		// Arm the cooperative stop flag from the context. AfterFunc avoids
+		// a watcher goroutine per run; the returned stop func detaches the
+		// callback so a later cancellation of a long-lived ctx doesn't
+		// write to a flag owned by a finished run.
+		stop := &core.Stop{}
+		o.cfg.Stop = stop
+		detach := context.AfterFunc(ctx, stop.Request)
+		defer detach()
 	}
 	if o.inst != nil {
 		pool := o.cfg.Pool
@@ -123,6 +177,14 @@ func Run(a Algorithm, g *graph.Graph, opts ...Option) (Result, error) {
 		o.cfg.Trace = tr
 	}
 
+	// Panic isolation boundary: algorithm or pool-worker panics become
+	// errors here instead of unwinding into the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			err = newRunPanicError(a, r)
+		}
+	}()
+
 	cres, err := run(a, g, o)
 	if err != nil {
 		return Result{}, err
@@ -139,12 +201,22 @@ func Run(a Algorithm, g *graph.Graph, opts ...Option) (Result, error) {
 		}
 	}
 
-	return Result{
+	res := Result{
 		Labels:         cres.Labels,
 		Iterations:     cres.Iterations,
 		PushIterations: cres.PushIterations,
 		PullIterations: cres.PullIterations,
-	}, nil
+		census:         &resultCensus{},
+	}
+	if cres.Canceled {
+		return res, &CanceledError{
+			Algorithm:  a,
+			Iterations: cres.Iterations,
+			Phase:      cres.Phase,
+			Err:        ctx.Err(),
+		}
+	}
+	return res, nil
 }
 
 func toIterStats(rec counters.IterRecord) IterationStats {
@@ -196,7 +268,10 @@ func ConnectItBFS(g *graph.Graph, opts ...Option) Result { return mustRun(AlgoCo
 func mustRun(a Algorithm, g *graph.Graph, opts []Option) Result {
 	r, err := Run(a, g, opts...)
 	if err != nil {
-		panic(err) // unreachable: a is always a known constant here
+		// a is always a known constant here and the context is background,
+		// so the only reachable error is a recovered algorithm panic —
+		// which the panicking convenience API re-raises.
+		panic(err)
 	}
 	return r
 }

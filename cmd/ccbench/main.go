@@ -19,9 +19,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -37,6 +40,7 @@ func main() {
 		csvPath = flag.String("csv", "", "also append results as CSV to this file")
 		jsonOut = flag.String("json", "", "run the perf-regression suite and write JSON results to this file")
 		list    = flag.Bool("list", false, "list available experiments and exit")
+		timeout = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -45,10 +49,23 @@ func main() {
 		return
 	}
 
+	// SIGINT or -timeout cancels cooperatively: the in-flight algorithm
+	// stops at its next iteration boundary and ccbench exits non-zero,
+	// instead of leaving a multi-hour benchmark unkillable except by
+	// SIGKILL. A second SIGINT kills immediately.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+
 	cfg := harness.RunConfig{
 		Scale:   harness.Scale(*scale),
 		Reps:    *reps,
 		Threads: *threads,
+		Ctx:     ctx,
 	}
 
 	if *jsonOut != "" {
@@ -85,6 +102,12 @@ func main() {
 		start := time.Now()
 		t, err := harness.RunExperiment(id, cfg)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fatalf("experiment %s: timeout after %v", id, *timeout)
+			}
+			if errors.Is(err, context.Canceled) {
+				fatalf("experiment %s: interrupted", id)
+			}
 			fatalf("experiment %s: %v", id, err)
 		}
 		fmt.Println(t.Render())

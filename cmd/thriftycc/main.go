@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -39,8 +42,21 @@ func main() {
 		verify  = flag.Bool("verify", false, "validate the result against the sequential oracle")
 		stat    = flag.Bool("stats", false, "print degree-distribution and census statistics")
 		inst    = flag.Bool("instrument", false, "print software event counters and per-iteration trace")
+		timeout = flag.Duration("timeout", 0, "abort runs after this duration (0 = no limit)")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the runs cooperatively: the current algorithm stops at
+	// its next iteration boundary and the process exits non-zero, instead of
+	// dying mid-write or needing SIGKILL. A second SIGINT kills immediately
+	// (signal.NotifyContext restores default handling after the first).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
 
 	g, err := loadGraph(*in, *genSpec, *seed)
 	if err != nil {
@@ -59,7 +75,14 @@ func main() {
 	}
 
 	for _, a := range algos {
-		if err := runOne(a, g, *reps, *threads, *verify, *inst); err != nil {
+		if err := runOne(ctx, a, g, *reps, *threads, *verify, *inst); err != nil {
+			var ce *cc.CanceledError
+			if errors.As(err, &ce) {
+				if errors.Is(err, context.DeadlineExceeded) {
+					fatalf("%s: timeout after %v (%d iterations completed)", a, *timeout, ce.Iterations)
+				}
+				fatalf("%s: interrupted (%d iterations completed)", a, ce.Iterations)
+			}
 			fatalf("%s: %v", a, err)
 		}
 	}
@@ -73,7 +96,7 @@ func algoNames() string {
 	return strings.Join(names, ", ")
 }
 
-func runOne(a cc.Algorithm, g *graph.Graph, reps, threads int, verify, instrument bool) error {
+func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, reps, threads int, verify, instrument bool) error {
 	var opts []cc.Option
 	if threads > 0 {
 		opts = append(opts, cc.WithThreads(threads))
@@ -89,7 +112,7 @@ func runOne(a cc.Algorithm, g *graph.Graph, reps, threads int, verify, instrumen
 	var err error
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		res, err = cc.Run(a, g, opts...)
+		res, err = cc.RunContext(ctx, a, g, opts...)
 		if err != nil {
 			return err
 		}

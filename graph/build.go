@@ -8,6 +8,12 @@ import (
 	"thriftylp/internal/parallel"
 )
 
+// maxVertexID is the reserved top of the uint32 id space. Ids must stay
+// strictly below it: several consumers compute id+1 — Thrifty's planted
+// labels (v+1) and the degree-count indexing below (deg[e.U+1]) — and a
+// vertex numbered MaxUint32 would silently wrap those to 0.
+const maxVertexID = ^uint32(0)
+
 // BuildOption configures BuildUndirected.
 type BuildOption func(*buildConfig)
 
@@ -72,8 +78,14 @@ func BuildUndirected(edges []Edge, opts ...BuildOption) (*Graph, error) {
 				}
 			}
 		})
+		if maxID >= int64(maxVertexID) {
+			return nil, fmt.Errorf("graph: vertex id %d is reserved (id space is [0,%d))", maxID, maxVertexID)
+		}
 		n = int(maxID + 1)
 	} else {
+		if int64(n) > int64(maxVertexID) {
+			return nil, fmt.Errorf("graph: %d vertices exceeds the id space [0,%d)", n, maxVertexID)
+		}
 		for _, e := range edges {
 			if int(e.U) >= n || int(e.V) >= n {
 				return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", e.U, e.V, n)

@@ -10,6 +10,20 @@ import (
 // `go test` they run their seed corpus as regression tests; under
 // `go test -fuzz=FuzzX` they explore further.
 
+// hostileHeader builds a binary CSR header with valid magic and version but
+// attacker-chosen vertex and slot counts, and no payload.
+func hostileHeader(n, m uint64) []byte {
+	var buf bytes.Buffer
+	for _, h := range []uint64{0x54484c50, 1, n, m} {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(h >> (8 * i))
+		}
+		buf.Write(b[:])
+	}
+	return buf.Bytes()
+}
+
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add("0 1\n1 2\n")
 	f.Add("# comment\n\n5 5\n")
@@ -44,6 +58,14 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(valid[:len(valid)-3])
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Hostile headers: valid magic/version but counts far beyond the data.
+	// These must fail with a truncation error, not allocate count-sized
+	// arrays (the OOM vector this corpus pins down).
+	f.Add(hostileHeader(1<<40, 1<<40))
+	f.Add(hostileHeader(1<<62, 1<<62))                // payload size overflows int64
+	f.Add(hostileHeader(uint64(1)<<33, 4))            // vertex count above uint32 space
+	f.Add(hostileHeader(3, uint64(1)<<63))            // slot bytes overflow
+	f.Add(append(hostileHeader(3, 8), valid[32:]...)) // plausible counts, short payload
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These tests pin the untrusted-input contract of the I/O layer: corrupt or
+// hostile inputs must produce errors, never panics, out-of-memory
+// allocations, or silently wrong graphs.
+
+// TestReadBinaryHostileCountsDoNotAllocate: a header claiming astronomical
+// counts over a tiny stream must fail with a truncation error after reading
+// at most the real input. (If the implementation trusted the header this
+// test would OOM the process, so merely completing is the assertion.)
+func TestReadBinaryHostileCountsDoNotAllocate(t *testing.T) {
+	for _, tc := range []struct{ n, m uint64 }{
+		{1 << 40, 1 << 40}, // ~8 TiB offsets if trusted
+		{1 << 31, 1 << 40},
+		{7, 1 << 40},
+	} {
+		data := hostileHeader(tc.n, tc.m)
+		_, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("n=%d m=%d: accepted a header with no payload", tc.n, tc.m)
+		}
+	}
+}
+
+// TestReadBinaryOverflowingHeader: counts whose byte sizes overflow int64
+// are rejected by the header check itself.
+func TestReadBinaryOverflowingHeader(t *testing.T) {
+	for _, tc := range []struct{ n, m uint64 }{
+		{1 << 62, 0},       // offsets bytes overflow
+		{0, 1 << 62},       // adjacency bytes overflow
+		{1 << 60, 1 << 61}, // combined overflow
+		{1 << 33, 4},       // vertex count above the uint32 id space
+	} {
+		_, err := ReadBinary(bytes.NewReader(hostileHeader(tc.n, tc.m)))
+		if err == nil || strings.Contains(err.Error(), "unexpected EOF") {
+			t.Fatalf("n=%d m=%d: want header rejection, got %v", tc.n, tc.m, err)
+		}
+	}
+}
+
+// TestReadBinaryTruncated: every truncation point of a valid file errors
+// with ErrUnexpectedEOF (or a short-header error), never panics.
+func TestReadBinaryTruncated(t *testing.T) {
+	g, err := BuildUndirected([]Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := ReadBinary(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("accepted file truncated to %d of %d bytes", cut, len(valid))
+		}
+	}
+}
+
+// TestLoadBinaryPreValidatesFileSize: through the file path, a lying header
+// is caught by comparing its claim against the stat size, before the
+// payload is read at all.
+func TestLoadBinaryPreValidatesFileSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hostile.bin")
+	if err := os.WriteFile(path, hostileHeader(1<<30, 1<<30), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadBinary(path)
+	if err == nil {
+		t.Fatal("accepted hostile header")
+	}
+	if !strings.Contains(err.Error(), "file holds") {
+		t.Fatalf("want stat-based rejection, got: %v", err)
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("payload was read before size validation: %v", err)
+	}
+}
+
+// TestLoadBinaryRoundTrip: the hardened path still loads real files.
+func TestLoadBinaryRoundTrip(t *testing.T) {
+	g, err := BuildUndirected([]Edge{{0, 1}, {1, 2}, {2, 2}, {4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ok.bin")
+	if err := SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumDirectedEdges() != g.NumDirectedEdges() {
+		t.Fatal("round trip changed sizes")
+	}
+}
+
+// TestReadEdgeListRejectsReservedID: the top uint32 id would wrap id+1
+// consumers (Thrifty's planted labels, degree indexing); the parser rejects
+// it with the offending line number.
+func TestReadEdgeListRejectsReservedID(t *testing.T) {
+	in := "0 1\n1 2\n4294967295 2\n"
+	_, err := ReadEdgeList(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("accepted reserved vertex id")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error does not name the offending line: %v", err)
+	}
+}
+
+// TestReadEdgeListLineNumbersInErrors: malformed fields report their line.
+func TestReadEdgeListLineNumbersInErrors(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		line string
+	}{
+		{"0 1\nnot numbers\n", "line 2"},
+		{"# header\n0 1\n7\n", "line 3"},
+		{"0 1\n2 99999999999999999999\n", "line 2"},
+		{"0 1\n1 -2\n", "line 2"},
+	} {
+		_, err := ReadEdgeList(strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("accepted %q", tc.in)
+		}
+		if !strings.Contains(err.Error(), tc.line) {
+			t.Fatalf("error for %q does not name %s: %v", tc.in, tc.line, err)
+		}
+	}
+}
+
+// TestBuildUndirectedRejectsReservedID: the same guard holds for callers
+// assembling edges programmatically, in both the inferred-n and explicit-n
+// paths.
+func TestBuildUndirectedRejectsReservedID(t *testing.T) {
+	if _, err := BuildUndirected([]Edge{{0, ^uint32(0)}}); err == nil {
+		t.Fatal("inferred-n build accepted reserved id")
+	}
+	if _, err := BuildUndirected([]Edge{{0, 1}}, WithNumVertices(1<<33)); err == nil {
+		t.Fatal("explicit-n build accepted vertex count beyond the id space")
+	}
+}

@@ -62,6 +62,12 @@ func ReadEdgeList(r io.Reader, opts ...BuildOption) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 		}
+		// The id space is [0, MaxUint32): the top id is reserved because
+		// several consumers compute v+1 (Thrifty's planted labels, CSR
+		// degree indexing), which must not wrap.
+		if uint32(u) == maxVertexID || uint32(v) == maxVertexID {
+			return nil, fmt.Errorf("graph: line %d: vertex id %d is reserved", lineNo, maxVertexID)
+		}
 		edges = append(edges, Edge{U: uint32(u), V: uint32(v)})
 	}
 	if err := sc.Err(); err != nil {
@@ -88,35 +94,141 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// binHeaderSize is the fixed binary CSR header: magic, version, |V|,
+// directed slot count, 8 bytes each.
+const binHeaderSize = 32
+
+// binPayloadSize returns the byte size of the offsets + adjacency payload
+// for a graph with n vertices and m directed slots, or -1 on overflow. Used
+// to validate untrusted headers against a known input size before
+// allocating anything.
+func binPayloadSize(n, m uint64) int64 {
+	const maxInt64 = 1<<63 - 1
+	if n >= maxInt64/8-1 || m >= maxInt64/4 {
+		return -1
+	}
+	off := 8 * (n + 1)
+	adj := 4 * m
+	if off > maxInt64-adj {
+		return -1
+	}
+	return int64(off + adj)
+}
+
+// readBinaryHeader reads and sanity-checks the fixed header, returning the
+// claimed vertex and directed-slot counts.
+func readBinaryHeader(r io.Reader) (n, m uint64, err error) {
+	var raw [binHeaderSize]byte
+	if _, err := io.ReadFull(r, raw[:]); err != nil {
+		return 0, 0, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	magic := binary.LittleEndian.Uint64(raw[0:])
+	version := binary.LittleEndian.Uint64(raw[8:])
+	n = binary.LittleEndian.Uint64(raw[16:])
+	m = binary.LittleEndian.Uint64(raw[24:])
+	if magic != binMagic {
+		return 0, 0, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if version != binVersion {
+		return 0, 0, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	// CSR indices are int and vertex ids uint32; anything larger cannot
+	// have been written by WriteBinary and is a corrupt or hostile header.
+	if n > uint64(^uint32(0)) {
+		return 0, 0, fmt.Errorf("graph: header claims %d vertices, above the uint32 id space", n)
+	}
+	if binPayloadSize(n, m) < 0 {
+		return 0, 0, fmt.Errorf("graph: header sizes overflow (%d vertices, %d slots)", n, m)
+	}
+	return n, m, nil
+}
+
+// readChunkCap bounds how much memory a single allocation step may commit
+// before the bytes backing it have actually been read: headers are
+// untrusted, so slices grow incrementally as data arrives instead of
+// trusting the claimed element count up front. 4Mi elements ≈ 16–32 MiB.
+const readChunkCap = 4 << 20
+
 // ReadBinary reads a graph written by WriteBinary, validating the CSR
 // invariants before returning it.
+//
+// The input is treated as untrusted: header counts are range- and
+// overflow-checked, and the offsets/adjacency arrays are allocated
+// incrementally while the stream delivers bytes, so a corrupt or hostile
+// header claiming huge counts fails with ErrUnexpectedEOF after reading at
+// most the real input — it cannot force an allocation proportional to the
+// claim. Readers with a known size (files) get a cheaper up-front check via
+// LoadBinary.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var hdr [4]uint64
-	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fmt.Errorf("graph: reading binary header: %w", err)
-		}
+	n, m, err := readBinaryHeader(br)
+	if err != nil {
+		return nil, err
 	}
-	if hdr[0] != binMagic {
-		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
-	}
-	if hdr[1] != binVersion {
-		return nil, fmt.Errorf("graph: unsupported version %d", hdr[1])
-	}
-	n, m := int(hdr[2]), int(hdr[3])
-	if n < 0 || m < 0 {
-		return nil, fmt.Errorf("graph: negative sizes in header")
-	}
-	offsets := make([]int64, n+1)
-	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+
+	offsets, err := readInt64s(br, n+1)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading offsets: %w", err)
 	}
-	adj := make([]uint32, m)
-	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+	adj, err := readUint32s(br, m)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
 	}
 	return FromCSR(offsets, adj)
+}
+
+// readInt64s reads count little-endian int64s in chunks, growing the result
+// only as bytes actually arrive.
+func readInt64s(r io.Reader, count uint64) ([]int64, error) {
+	out := make([]int64, 0, minU64(count, readChunkCap))
+	buf := make([]byte, 8*minU64(count, readChunkCap))
+	for done := uint64(0); done < count; {
+		k := minU64(count-done, readChunkCap)
+		b := buf[:8*k]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("element %d of %d: %w", done, count, noEOF(err))
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(b[8*i:])))
+		}
+		done += uint64(k)
+	}
+	return out, nil
+}
+
+// readUint32s reads count little-endian uint32s in chunks, growing the
+// result only as bytes actually arrive.
+func readUint32s(r io.Reader, count uint64) ([]uint32, error) {
+	out := make([]uint32, 0, minU64(count, readChunkCap))
+	buf := make([]byte, 4*minU64(count, readChunkCap))
+	for done := uint64(0); done < count; {
+		k := minU64(count-done, readChunkCap)
+		b := buf[:4*k]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("element %d of %d: %w", done, count, noEOF(err))
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		done += uint64(k)
+	}
+	return out, nil
+}
+
+func minU64(a, b uint64) int {
+	if a < b {
+		return int(a)
+	}
+	return int(b)
+}
+
+// noEOF maps io.EOF to ErrUnexpectedEOF: once the header promised more
+// elements, a clean EOF mid-array is still a truncation.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // SaveBinary writes g to the named file in binary CSR format.
@@ -132,14 +244,39 @@ func SaveBinary(path string, g *Graph) error {
 	return f.Close()
 }
 
-// LoadBinary reads a graph from a binary CSR file.
+// LoadBinary reads a graph from a binary CSR file. Unlike ReadBinary on a
+// bare stream, the file size is known, so the header's claimed counts are
+// validated against it before any allocation: a corrupt header that
+// promises more data than the file holds is rejected up front.
 func LoadBinary(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadBinary(f)
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	n, m, err := readBinaryHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	if need := binPayloadSize(n, m); st.Mode().IsRegular() && need > st.Size()-binHeaderSize {
+		return nil, fmt.Errorf(
+			"graph: %s: header claims %d vertices and %d slots (%d payload bytes) but file holds %d",
+			path, n, m, need, st.Size()-binHeaderSize)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	offsets, err := readInt64s(br, n+1)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: reading offsets: %w", path, err)
+	}
+	adj, err := readUint32s(br, m)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: reading adjacency: %w", path, err)
+	}
+	return FromCSR(offsets, adj)
 }
 
 // LoadEdgeList reads a graph from a text edge-list file.

@@ -1,0 +1,194 @@
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Error-path coverage for the hardened CLIs: every failure mode must exit
+// non-zero with a one-line diagnostic on stderr, never a panic, a hang, or
+// a zero exit hiding the failure.
+
+// exitCode extracts the process exit code from run()'s error.
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("command failed without an exit code: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// oneLine asserts the diagnostic is a single line mentioning the tool name.
+func oneLine(t *testing.T, tool, out string) {
+	t.Helper()
+	trimmed := strings.TrimRight(out, "\n")
+	// The graph banner may precede the error when loading succeeded; only
+	// the final line is the diagnostic.
+	lines := strings.Split(trimmed, "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, tool+":") {
+		t.Fatalf("diagnostic not prefixed with %q:\n%s", tool+":", out)
+	}
+}
+
+func TestThriftyccMissingInputFile(t *testing.T) {
+	out, err := run(t, "thriftycc", "-in", "/nonexistent/graph.bin")
+	if exitCode(t, err) == 0 {
+		t.Fatalf("missing input exited zero:\n%s", out)
+	}
+	oneLine(t, "thriftycc", out)
+}
+
+func TestThriftyccCorruptBinary(t *testing.T) {
+	dir := t.TempDir()
+	// A hostile header: valid magic/version, astronomical counts, no data.
+	hdr := make([]byte, 32)
+	copy(hdr, []byte{0x50, 0x4c, 0x48, 0x54}) // "THLP" little-endian
+	hdr[8] = 1                                // version
+	for i := 16; i < 32; i++ {
+		hdr[i] = 0x7f
+	}
+	path := filepath.Join(dir, "corrupt.bin")
+	if err := os.WriteFile(path, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "thriftycc", "-in", path)
+	if exitCode(t, err) == 0 {
+		t.Fatalf("corrupt binary accepted:\n%s", out)
+	}
+	oneLine(t, "thriftycc", out)
+
+	// Truncated but plausible file: header of a real graph, half the payload.
+	full := filepath.Join(dir, "full.bin")
+	if out, err := run(t, "graphgen", "-gen", "er:100:200", "-o", full); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.bin")
+	if err := os.WriteFile(cut, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = run(t, "thriftycc", "-in", cut)
+	if exitCode(t, err) == 0 {
+		t.Fatalf("truncated binary accepted:\n%s", out)
+	}
+}
+
+func TestThriftyccMalformedEdgeList(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.el")
+	if err := os.WriteFile(path, []byte("0 1\nnot an edge\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "thriftycc", "-in", path)
+	if exitCode(t, err) == 0 {
+		t.Fatalf("malformed edge list accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "line 2") {
+		t.Fatalf("diagnostic does not name the offending line:\n%s", out)
+	}
+}
+
+func TestThriftyccMalformedFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-reps", "abc", "-gen", "rmat:8"},
+		{"-timeout", "nonsense", "-gen", "rmat:8"},
+		{"-no-such-flag"},
+	} {
+		out, err := run(t, "thriftycc", args...)
+		if exitCode(t, err) == 0 {
+			t.Fatalf("args %v exited zero:\n%s", args, out)
+		}
+	}
+}
+
+func TestThriftyccTimeout(t *testing.T) {
+	// A path graph large enough that LP (the slowest algorithm, ~n
+	// iterations) cannot finish within the timeout.
+	out, err := run(t, "thriftycc", "-gen", "path:200000", "-algo", "lp", "-timeout", "50ms")
+	if exitCode(t, err) == 0 {
+		t.Fatalf("timeout did not produce a non-zero exit:\n%s", out)
+	}
+	if !strings.Contains(out, "timeout") {
+		t.Fatalf("diagnostic does not mention the timeout:\n%s", out)
+	}
+	oneLine(t, "thriftycc", out)
+}
+
+func TestThriftyccTimeoutNotTriggered(t *testing.T) {
+	// A generous timeout must not interfere with a fast run.
+	out, err := run(t, "thriftycc", "-gen", "rmat:10:8", "-algo", "thrifty", "-timeout", "1m", "-verify")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "verify: OK") {
+		t.Fatalf("run with unexpired timeout misbehaved:\n%s", out)
+	}
+}
+
+func TestThriftyccSIGINT(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "thriftycc"),
+		"-gen", "path:200000", "-algo", "lp", "-reps", "100")
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give it time to pass flag parsing and enter the run, then interrupt.
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("SIGINT exited zero:\n%s", buf.String())
+		}
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("want clean exit code 1 after SIGINT, got %v\n%s", err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "interrupted") {
+			t.Fatalf("diagnostic does not mention the interrupt:\n%s", buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("SIGINT did not terminate the run within 10s")
+	}
+}
+
+func TestCcbenchTimeout(t *testing.T) {
+	out, err := run(t, "ccbench", "-exp", "table4", "-scale", "medium", "-timeout", "50ms")
+	if exitCode(t, err) == 0 {
+		t.Fatalf("timeout did not produce a non-zero exit:\n%s", out)
+	}
+	if !strings.Contains(out, "timeout") {
+		t.Fatalf("diagnostic does not mention the timeout:\n%s", out)
+	}
+}
+
+func TestCcbenchMalformedFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-reps", "x"},
+		{"-timeout", "x"},
+		{"-bogus"},
+	} {
+		out, err := run(t, "ccbench", args...)
+		if exitCode(t, err) == 0 {
+			t.Fatalf("args %v exited zero:\n%s", args, out)
+		}
+	}
+}

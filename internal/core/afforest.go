@@ -114,6 +114,9 @@ func Afforest(g *graph.Graph, cfg Config) Result {
 	// Phase 1: neighbour rounds — link each vertex to its r-th neighbour.
 	for r := 0; r < afforestNeighborRounds; r++ {
 		sch.sweep(func(tid, lo, hi int) {
+			if cfg.Stop.Requested() {
+				return // cancellation poll at partition entry
+			}
 			var ck chunkCounts
 			for v := lo; v < hi; v++ {
 				ck.visits++
@@ -126,6 +129,13 @@ func Afforest(g *graph.Graph, cfg Config) Result {
 			ck.flush(cfg.Ctr, tid)
 		})
 		res.Iterations++
+		if cfg.cancelPoint(&res, PhaseSample) {
+			// A partial forest is still a valid union-find state; compress
+			// it so the returned labels are root ids, then bail.
+			afforestCompress(pool, comp, fl)
+			res.Labels = comp
+			return res
+		}
 	}
 	afforestCompress(pool, comp, fl)
 
@@ -136,6 +146,9 @@ func Afforest(g *graph.Graph, cfg Config) Result {
 	// Phase 2: finish the remaining edges, but only for vertices outside
 	// the dominant component.
 	sch.sweep(func(tid, lo, hi int) {
+		if cfg.Stop.Requested() {
+			return // cancellation poll at partition entry
+		}
 		var ck chunkCounts
 		for v := lo; v < hi; v++ {
 			ck.visits++
@@ -153,6 +166,7 @@ func Afforest(g *graph.Graph, cfg Config) Result {
 		ck.flush(cfg.Ctr, tid)
 	})
 	res.Iterations++
+	cfg.cancelPoint(&res, PhaseFinish)
 	afforestCompress(pool, comp, fl)
 
 	res.Labels = comp

@@ -40,9 +40,18 @@ func BFSCC(g *graph.Graph, cfg Config) Result {
 		if comp[s] != bfsUnset {
 			continue
 		}
+		// Cancellation at component granularity; bfsFrom additionally polls
+		// per level, so a cancelled giant-component search also exits
+		// promptly. Unclaimed vertices keep the bfsUnset sentinel.
+		if cfg.cancelPoint(&res, PhaseBFS) {
+			break
+		}
 		levels := bfsFrom(g, cfg, pool, comp, uint32(s), &exploredEdges)
 		res.Iterations += levels
 	}
+	// Catch a stop that arrived during the final component's search, after
+	// the loop-top check for it had already passed.
+	cfg.cancelPoint(&res, PhaseBFS)
 	res.Labels = comp
 	return res
 }
@@ -59,6 +68,9 @@ func bfsFrom(g *graph.Graph, cfg Config, pool *parallel.Pool, comp []uint32, s u
 	var front, nextBm *bitmap.Bitmap // lazily allocated for bottom-up
 
 	for len(frontier) > 0 {
+		if cfg.Stop.Requested() {
+			return levels // cancellation poll at level boundary
+		}
 		levels++
 		remaining := m - *exploredEdges
 		if frontierEdges > remaining/bfsAlpha && len(frontier) > 64 {

@@ -42,6 +42,9 @@ func ConnectItKOut(g *graph.Graph, cfg Config) Result {
 	for r := 0; r < connectItKOutRounds; r++ {
 		rr := uint64(r)
 		sch.sweep(func(tid, lo, hi int) {
+			if cfg.Stop.Requested() {
+				return // cancellation poll at partition entry
+			}
 			var ck chunkCounts
 			for v := lo; v < hi; v++ {
 				ck.visits++
@@ -60,11 +63,19 @@ func ConnectItKOut(g *graph.Graph, cfg Config) Result {
 			ck.flush(cfg.Ctr, tid)
 		})
 		res.Iterations++
+		if cfg.cancelPoint(&res, PhaseSample) {
+			// A partial forest is still a valid union-find state; compress
+			// it so the returned labels are root ids, then bail.
+			afforestCompress(pool, comp, fl)
+			res.Labels = comp
+			return res
+		}
 	}
 	afforestCompress(pool, comp, fl)
 
 	connectItFinish(g, cfg, pool, comp, fl)
 	res.Iterations++
+	cfg.cancelPoint(&res, PhaseFinish)
 	res.Labels = comp
 	return res
 }
@@ -100,9 +111,16 @@ func ConnectItBFS(g *graph.Graph, cfg Config) Result {
 			}
 		}
 	})
+	if cfg.cancelPoint(&res, PhaseBFS) {
+		// bfsFrom exited at a level boundary; the partially claimed star is
+		// already folded into comp, which stays a valid union-find state.
+		res.Labels = comp
+		return res
+	}
 
 	connectItFinish(g, cfg, pool, comp, fl)
 	res.Iterations++
+	cfg.cancelPoint(&res, PhaseFinish)
 	res.Labels = comp
 	return res
 }
@@ -112,6 +130,9 @@ func ConnectItBFS(g *graph.Graph, cfg Config) Result {
 func connectItFinish(g *graph.Graph, cfg Config, pool *parallel.Pool, comp []uint32, fl *chunkFlusher) {
 	giant := sampleFrequentComponent(comp)
 	newScheduler(g, cfg, pool).sweep(func(tid, lo, hi int) {
+		if cfg.Stop.Requested() {
+			return // cancellation poll at partition entry
+		}
 		var ck chunkCounts
 		for v := lo; v < hi; v++ {
 			ck.visits++

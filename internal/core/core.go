@@ -43,6 +43,14 @@ type Config struct {
 	// MaxIterations caps the iteration loops as a safety net; 0 means
 	// 2·|V|+16, which no correct run can reach.
 	MaxIterations int
+	// Stop, when non-nil, is polled at iteration and partition boundaries;
+	// once requested, the run abandons remaining work and returns a partial
+	// Result with Canceled set. cc.RunContext arms it from a context.
+	Stop *Stop
+	// Faults, when non-nil, selects the fault-injection policy: scheduling
+	// perturbations (and optionally a panic) at the instrumentation hook
+	// points. Chaos tests only; mutually exclusive with Ctr/Lines/Trace.
+	Faults *FaultPlan
 
 	// The remaining fields are Thrifty ablation/tuning switches; the zero
 	// values select the paper's algorithm.
@@ -102,6 +110,14 @@ type Result struct {
 	// label-propagation algorithms (Table VII); zero for union-find.
 	PushIterations int
 	PullIterations int
+	// Canceled reports that the run stopped at a cancellation point before
+	// converging; Labels then holds the algorithm's intermediate state (for
+	// the LP family a refinement en route to the partition, for union-find
+	// a partially built forest), not the final partition.
+	Canceled bool
+	// Phase names the phase the run was in when cancelled ("pull", "push",
+	// "hook", ...); empty for completed runs.
+	Phase string
 }
 
 // chunkCounts is the per-chunk local counter block algorithms accumulate in

@@ -79,10 +79,14 @@ func (f *frontierState) extract(pool *parallel.Pool) []uint32 {
 // primary baseline (its column in Table IV, Fig 5-8, and the reference
 // against which Thrifty's 25.2× average speedup is quoted).
 func DOLP(g *graph.Graph, cfg Config) Result {
-	if cfg.fastInstr() {
+	switch {
+	case cfg.Faults != nil:
+		return dolpRun(g, cfg, newChaos(cfg))
+	case !cfg.fastInstr():
+		return dolpRun(g, cfg, newCounting(cfg))
+	default:
 		return dolpRun(g, cfg, noInstr{})
 	}
-	return dolpRun(g, cfg, newCounting(cfg))
 }
 
 func dolpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
@@ -105,6 +109,7 @@ func dolpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 
 	res := Result{}
 	maxIters := cfg.maxIters(n)
+	phase := string(counters.KindPull)
 	for oldFr.activeV > 0 && res.Iterations < maxIters {
 		start := time.Now()
 		ctrBefore := cfg.Ctr.Total(counters.EdgesProcessed)
@@ -116,14 +121,16 @@ func dolpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 		if density < threshold {
 			// Push traversal (lines 9-12).
 			kind = counters.KindPush
+			phase = string(kind)
 			res.PushIterations++
-			changed = dolpPush(g, pool, oldLbs, newLbs, &oldFr, &newFr, proto)
+			changed = dolpPush(g, pool, oldLbs, newLbs, &oldFr, &newFr, cfg.Stop, proto)
 		} else {
 			// Pull traversal (lines 13-20): all vertices, ignoring frontier
 			// membership of neighbours.
 			kind = counters.KindPull
+			phase = string(kind)
 			res.PullIterations++
-			changed = dolpPull(g, sch, oldLbs, newLbs, &newFr, proto)
+			changed = dolpPull(g, sch, oldLbs, newLbs, &newFr, cfg.Stop, proto)
 		}
 
 		// Synchronize labels arrays (lines 21-22) and swap frontiers. The
@@ -156,6 +163,12 @@ func dolpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 				Duration: time.Since(start),
 			}, oldLbs)
 		}
+		// Cancellation before the loop condition re-evaluates: a cancelled
+		// sweep skips partitions, and the resulting empty frontier means
+		// "aborted", not "converged".
+		if cfg.cancelPoint(&res, phase) {
+			break
+		}
 	}
 	res.Labels = newLbs
 	return res
@@ -165,12 +178,15 @@ func dolpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 // each active vertex propagates its old label to its neighbours' new labels
 // with atomic-min, marking lowered neighbours in the new frontier bitmap.
 // Returns the number of newly activated vertices.
-func dolpPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, oldLbs, newLbs []uint32, oldFr, newFr *frontierState, proto I) int64 {
+func dolpPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, oldLbs, newLbs []uint32, oldFr, newFr *frontierState, stop *Stop, proto I) int64 {
 	offs, adj := g.Offsets(), g.Adjacency()
 	active := oldFr.extract(pool)
 	var changed int64
 	parallel.For(pool, len(active), 512, func(tid, lo, hi int) {
 		ins := proto.Fresh()
+		if stop.Requested() {
+			return // cancellation poll at chunk entry
+		}
 		var local int64
 		for _, v := range active[lo:hi] {
 			iVisit(ins)
@@ -199,11 +215,14 @@ func dolpPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, oldLbs, newLbs []
 // dolpPull runs one DO-LP pull iteration: every vertex takes the minimum of
 // its neighbours' old labels into its new label, marking changed vertices in
 // the new frontier bitmap. Returns the number of changed vertices.
-func dolpPull[I instr[I]](g *graph.Graph, sch *scheduler, oldLbs, newLbs []uint32, newFr *frontierState, proto I) int64 {
+func dolpPull[I instr[I]](g *graph.Graph, sch *scheduler, oldLbs, newLbs []uint32, newFr *frontierState, stop *Stop, proto I) int64 {
 	offs, adj := g.Offsets(), g.Adjacency()
 	var changed int64
 	sch.sweep(func(tid, lo, hi int) {
 		ins := proto.Fresh()
+		if stop.Requested() {
+			return // cancellation poll at partition entry
+		}
 		var local int64
 		for v := lo; v < hi; v++ {
 			iVisit(ins)

@@ -23,10 +23,14 @@ import (
 // Thrifty's total improvement in the paper), and the gap between
 // DOLPUnified and Thrifty measures the other three techniques combined.
 func DOLPUnified(g *graph.Graph, cfg Config) Result {
-	if cfg.fastInstr() {
+	switch {
+	case cfg.Faults != nil:
+		return dolpUnifiedRun(g, cfg, newChaos(cfg))
+	case !cfg.fastInstr():
+		return dolpUnifiedRun(g, cfg, newCounting(cfg))
+	default:
 		return dolpUnifiedRun(g, cfg, noInstr{})
 	}
-	return dolpUnifiedRun(g, cfg, newCounting(cfg))
 }
 
 func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
@@ -45,6 +49,7 @@ func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 
 	res := Result{}
 	maxIters := cfg.maxIters(n)
+	phase := string(counters.KindPull)
 	for oldFr.activeV > 0 && res.Iterations < maxIters {
 		start := time.Now()
 		ctrBefore := cfg.Ctr.Total(counters.EdgesProcessed)
@@ -55,12 +60,14 @@ func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 
 		if density < threshold {
 			kind = counters.KindPush
+			phase = string(kind)
 			res.PushIterations++
-			changed = dolpUnifiedPush(g, pool, labels, &oldFr, &newFr, proto)
+			changed = dolpUnifiedPush(g, pool, labels, &oldFr, &newFr, cfg.Stop, proto)
 		} else {
 			kind = counters.KindPull
+			phase = string(kind)
 			res.PullIterations++
-			changed = dolpUnifiedPull(g, sch, labels, &newFr, proto)
+			changed = dolpUnifiedPull(g, sch, labels, &newFr, cfg.Stop, proto)
 		}
 
 		newFr.recount(pool, g)
@@ -81,6 +88,12 @@ func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 				Duration: time.Since(start),
 			}, labels)
 		}
+		// Cancellation before the loop condition re-evaluates: a cancelled
+		// sweep skips partitions, and the resulting empty frontier means
+		// "aborted", not "converged".
+		if cfg.cancelPoint(&res, phase) {
+			break
+		}
 	}
 	res.Labels = labels
 	return res
@@ -89,12 +102,15 @@ func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 // dolpUnifiedPush runs one push iteration over the unified labels array:
 // identical to DO-LP's push except source labels are read (atomically) from
 // the same array the atomic-min writes target.
-func dolpUnifiedPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []uint32, oldFr, newFr *frontierState, proto I) int64 {
+func dolpUnifiedPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []uint32, oldFr, newFr *frontierState, stop *Stop, proto I) int64 {
 	offs, adj := g.Offsets(), g.Adjacency()
 	active := oldFr.extract(pool)
 	var changed int64
 	parallel.For(pool, len(active), 512, func(tid, lo, hi int) {
 		ins := proto.Fresh()
+		if stop.Requested() {
+			return // cancellation poll at chunk entry
+		}
 		var local int64
 		for _, v := range active[lo:hi] {
 			iVisit(ins)
@@ -123,11 +139,14 @@ func dolpUnifiedPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []u
 // dolpUnifiedPull runs one pull iteration over the unified labels array. The
 // neighbour read may observe a label written earlier in this same iteration,
 // which is what accelerates wavefront propagation.
-func dolpUnifiedPull[I instr[I]](g *graph.Graph, sch *scheduler, labels []uint32, newFr *frontierState, proto I) int64 {
+func dolpUnifiedPull[I instr[I]](g *graph.Graph, sch *scheduler, labels []uint32, newFr *frontierState, stop *Stop, proto I) int64 {
 	offs, adj := g.Offsets(), g.Adjacency()
 	var changed int64
 	sch.sweep(func(tid, lo, hi int) {
 		ins := proto.Fresh()
+		if stop.Requested() {
+			return // cancellation poll at partition entry
+		}
 		var local int64
 		for v := lo; v < hi; v++ {
 			iVisit(ins)

@@ -37,6 +37,9 @@ func FastSV(g *graph.Graph, cfg Config) Result {
 		var changed int64
 		// Hooking over all directed slots (u,v).
 		sch.sweep(func(tid, lo, hi int) {
+			if cfg.Stop.Requested() {
+				return // cancellation poll at partition entry
+			}
 			var local int64
 			var ck chunkCounts
 			for u := lo; u < hi; u++ {
@@ -91,12 +94,18 @@ func FastSV(g *graph.Graph, cfg Config) Result {
 			ck.flush(cfg.Ctr, tid)
 		})
 		res.Iterations++
+		// Cancellation before convergence: a cancelled hook sweep reports a
+		// changed count of 0 that means "aborted", not "fixed point".
+		if cfg.cancelPoint(&res, PhaseHook) {
+			break
+		}
 		if changed == 0 {
 			break
 		}
 	}
 	// f now maps every vertex to its tree value; flatten to roots so labels
-	// are canonical per component.
+	// are canonical per component. Runs even when cancelled: flattening a
+	// partial forest is cheap and keeps the labels self-consistent.
 	parallel.For(pool, n, 2048, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			for {
@@ -109,5 +118,6 @@ func FastSV(g *graph.Graph, cfg Config) Result {
 			}
 		}
 	})
-	return Result{Labels: f, Iterations: res.Iterations}
+	res.Labels = f
+	return res
 }

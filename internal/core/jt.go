@@ -67,8 +67,13 @@ func JayantiTarjan(g *graph.Graph, cfg Config) Result {
 		}
 	}
 
+	res := Result{Iterations: 1}
+
 	// Single edge pass: union the endpoints of every undirected edge.
 	newScheduler(g, cfg, pool).sweep(func(tid, lo, hi int) {
+		if cfg.Stop.Requested() {
+			return // cancellation poll at partition entry
+		}
 		var ck chunkCounts
 		for v := lo; v < hi; v++ {
 			ck.visits++
@@ -99,8 +104,11 @@ func JayantiTarjan(g *graph.Graph, cfg Config) Result {
 		}
 		ck.flush(cfg.Ctr, tid)
 	})
+	cfg.cancelPoint(&res, PhaseEdgePass)
 
-	// Flatten to component labels.
+	// Flatten to component labels. Runs even when cancelled: a partial
+	// forest is still a valid union-find state, and flattening makes the
+	// returned labels root ids.
 	parallel.For(pool, n, 2048, func(tid, lo, hi int) {
 		var ck chunkCounts
 		for v := lo; v < hi; v++ {
@@ -108,5 +116,6 @@ func JayantiTarjan(g *graph.Graph, cfg Config) Result {
 		}
 		ck.flush(cfg.Ctr, tid)
 	})
-	return Result{Labels: parent, Iterations: 1}
+	res.Labels = parent
+	return res
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"thriftylp/graph"
+	"thriftylp/internal/counters"
 	"thriftylp/internal/parallel"
 )
 
@@ -14,10 +15,14 @@ import (
 // the semantic reference the optimized variants are validated against, and
 // the zero line for measuring what DO-LP's frontier machinery buys.
 func LP(g *graph.Graph, cfg Config) Result {
-	if cfg.fastInstr() {
+	switch {
+	case cfg.Faults != nil:
+		return lpRun(g, cfg, newChaos(cfg))
+	case !cfg.fastInstr():
+		return lpRun(g, cfg, newCounting(cfg))
+	default:
 		return lpRun(g, cfg, noInstr{})
 	}
-	return lpRun(g, cfg, newCounting(cfg))
 }
 
 func lpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
@@ -29,27 +34,38 @@ func lpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	parallel.Copy(pool, newLbs, oldLbs)
 	sch := newScheduler(g, cfg, pool)
 
-	iters := 0
+	res := Result{}
 	maxIters := cfg.maxIters(n)
-	for iters < maxIters {
-		changed := lpSweep(g, sch, oldLbs, newLbs, proto)
-		iters++
+	for res.Iterations < maxIters {
+		changed := lpSweep(g, sch, oldLbs, newLbs, cfg.Stop, proto)
+		res.Iterations++
+		// The cancellation check must precede the convergence check: a
+		// cancelled sweep skips partitions, and its changed count of 0
+		// means "aborted", not "fixed point".
+		if cfg.cancelPoint(&res, string(counters.KindPull)) {
+			break
+		}
 		if changed == 0 {
 			break
 		}
 		parallel.Copy(pool, oldLbs, newLbs)
 	}
-	return Result{Labels: newLbs, Iterations: iters, PullIterations: iters}
+	res.Labels = newLbs
+	res.PullIterations = res.Iterations
+	return res
 }
 
 // lpSweep runs one synchronous pull sweep: every vertex's new label becomes
 // the minimum over itself and its neighbours in the old array. Returns the
 // number of changed vertices.
-func lpSweep[I instr[I]](g *graph.Graph, sch *scheduler, oldLbs, newLbs []uint32, proto I) int64 {
+func lpSweep[I instr[I]](g *graph.Graph, sch *scheduler, oldLbs, newLbs []uint32, stop *Stop, proto I) int64 {
 	offs, adj := g.Offsets(), g.Adjacency()
 	var changed int64
 	sch.sweep(func(tid, lo, hi int) {
 		ins := proto.Fresh()
+		if stop.Requested() {
+			return // cancellation poll at partition entry
+		}
 		var local int64
 		for v := lo; v < hi; v++ {
 			iVisit(ins)

@@ -28,6 +28,9 @@ func ShiloachVishkin(g *graph.Graph, cfg Config) Result {
 		// Hook pass: for every directed slot (v,u), if comp[v] < comp[u]
 		// and comp[u] is a root, hook it under comp[v].
 		sch.sweep(func(tid, lo, hi int) {
+			if cfg.Stop.Requested() {
+				return // cancellation poll at partition entry
+			}
 			var local int64
 			var ck chunkCounts
 			for v := lo; v < hi; v++ {
@@ -74,6 +77,11 @@ func ShiloachVishkin(g *graph.Graph, cfg Config) Result {
 			ck.flush(cfg.Ctr, tid)
 		})
 		res.Iterations++
+		// Cancellation before convergence: a cancelled hook pass reports a
+		// changed count of 0 that means "aborted", not "fixed point".
+		if cfg.cancelPoint(&res, PhaseHook) {
+			break
+		}
 		if changed == 0 {
 			break
 		}

@@ -37,10 +37,14 @@ import (
 // counters/trace/lines enabled take the counting path with identical
 // traversal structure.
 func Thrifty(g *graph.Graph, cfg Config) Result {
-	if cfg.fastInstr() {
+	switch {
+	case cfg.Faults != nil:
+		return thriftyRun(g, cfg, newChaos(cfg))
+	case !cfg.fastInstr():
+		return thriftyRun(g, cfg, newCounting(cfg))
+	default:
 		return thriftyRun(g, cfg, noInstr{})
 	}
-	return thriftyRun(g, cfg, newCounting(cfg))
 }
 
 func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
@@ -107,7 +111,7 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 		start := time.Now()
 		ebefore := cfg.Ctr.Total(counters.EdgesProcessed)
 		cur.AddUnchecked(0, maxV)
-		activeV, activeE = thriftyPush(g, pool, labels, cur, next, 1+int64(g.Degree(maxV)), proto)
+		activeV, activeE = thriftyPush(g, pool, labels, cur, next, 1+int64(g.Degree(maxV)), cfg.Stop, proto)
 		cur, next = next, cur
 		next.Reset()
 		cfg.Lines.FlushIteration(cfg.Ctr, 0)
@@ -132,6 +136,18 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	// e.g. the planted hub's only edges are self-loops — the first pull
 	// must still run, or vertices in other components would never be
 	// compared with their neighbours.
+	//
+	// phase tracks the most recent iteration kind for cancellation
+	// diagnostics; the cancelPoint check at the bottom of the loop body makes
+	// a cancelled run exit at the iteration boundary (a partition-boundary
+	// Stopped poll inside the traversal has already cut the in-flight
+	// iteration short). The check must precede the loop condition: a
+	// cancelled sweep's empty frontier means "aborted", not "converged".
+	phase := string(counters.KindInitialPush)
+	if cfg.cancelPoint(&res, phase) {
+		res.Labels = labels
+		return res
+	}
 	for (activeV > 0 || !didPull) && res.Iterations < maxIters {
 		start := time.Now()
 		ebefore := cfg.Ctr.Total(counters.EdgesProcessed)
@@ -141,7 +157,8 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 		switch {
 		case didPull && density < threshold && haveFrontier:
 			// --- Push traversal over the detailed sparse frontier ---
-			activeV, activeE = thriftyPush(g, pool, labels, cur, next, activeV+activeE, proto)
+			phase = string(counters.KindPush)
+			activeV, activeE = thriftyPush(g, pool, labels, cur, next, activeV+activeE, cfg.Stop, proto)
 			cur, next = next, cur
 			next.Reset()
 			res.Iterations++
@@ -154,8 +171,9 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 			// dense-style pull, which additionally records which vertices
 			// became active so the following push iterations have a
 			// worklist to consume.
+			phase = string(counters.KindPullFrontier)
 			cur.Reset()
-			activeV, activeE = thriftyPull(g, sch, labels, cur, true, proto)
+			activeV, activeE = thriftyPull(g, sch, labels, cur, true, cfg.Stop, proto)
 			haveFrontier = true
 			res.Iterations++
 			res.PullIterations++
@@ -167,12 +185,13 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 			// (under the EagerFrontier ablation every pull also records the
 			// detailed frontier, paying the insertion cost the paper's
 			// counting-only design avoids).
+			phase = string(counters.KindPull)
 			if cfg.EagerFrontier {
 				cur.Reset()
-				activeV, activeE = thriftyPull(g, sch, labels, cur, true, proto)
+				activeV, activeE = thriftyPull(g, sch, labels, cur, true, cfg.Stop, proto)
 				haveFrontier = true
 			} else {
-				activeV, activeE = thriftyPull(g, sch, labels, nil, false, proto)
+				activeV, activeE = thriftyPull(g, sch, labels, nil, false, cfg.Stop, proto)
 				haveFrontier = false
 			}
 			didPull = true
@@ -180,6 +199,9 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 			res.PullIterations++
 			cfg.Lines.FlushIteration(cfg.Ctr, 0)
 			record(start, counters.KindPull, activeAtStart, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, density)
+		}
+		if cfg.cancelPoint(&res, phase) {
+			break
 		}
 	}
 
@@ -202,13 +224,28 @@ const pushSeqCutoff = 4096
 // then other threads' lists), and a racing duplicate insertion — permitted
 // by the mark array's non-CAS discipline — at worst processes a vertex
 // twice, which is harmless because labels only decrease.
-func thriftyPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []uint32, cur, next *worklist.Set, work int64, proto I) (int64, int64) {
+func thriftyPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []uint32, cur, next *worklist.Set, work int64, stop *Stop, proto I) (int64, int64) {
 	offs, adj := g.Offsets(), g.Adjacency()
 	var av, ae int64
 	body := func(tid int) {
 		ins := proto.Fresh()
 		var localV, localE int64
+		var seen uint32
+		stopped := false
 		cur.Drain(tid, func(v uint32) {
+			// Amortized cancellation poll: chain frontiers drain thousands
+			// of degree-2 vertices, where even an uncontended flag load per
+			// vertex is measurable, so the shared flag is read every 256
+			// vertices and latched into a local. Cancellation latency stays
+			// bounded by 256 adjacency scans per worker.
+			if stopped {
+				return
+			}
+			seen++
+			if seen&255 == 0 && stop.Requested() {
+				stopped = true
+				return
+			}
 			iVisit(ins)
 			lv := atomicx.LoadUint32(&labels[v])
 			iLoad(ins)
@@ -233,7 +270,7 @@ func thriftyPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []uint3
 	if work >= 0 && work < pushSeqCutoff {
 		body(0)
 	} else {
-		pool.Run(body)
+		pool.MustRun(body)
 	}
 	return av, ae
 }
@@ -244,11 +281,16 @@ func thriftyPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []uint3
 // exists. When recordFrontier is set (the Pull-Frontier bridge iteration),
 // changed vertices are also inserted into fr. Returns the changed-vertex
 // count and degree sum, which drive the next direction decision.
-func thriftyPull[I instr[I]](g *graph.Graph, sch *scheduler, labels []uint32, fr *worklist.Set, recordFrontier bool, proto I) (int64, int64) {
+func thriftyPull[I instr[I]](g *graph.Graph, sch *scheduler, labels []uint32, fr *worklist.Set, recordFrontier bool, stop *Stop, proto I) (int64, int64) {
 	offs, adj := g.Offsets(), g.Adjacency()
 	var av, ae int64
 	sch.sweep(func(tid, lo, hi int) {
 		ins := proto.Fresh()
+		// Cancellation poll at partition entry: remaining partitions are
+		// claimed and skipped, so the sweep drains promptly.
+		if stop.Requested() {
+			return
+		}
 		var localV, localE int64
 		for v := lo; v < hi; v++ {
 			iVisit(ins)

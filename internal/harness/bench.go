@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -18,6 +19,18 @@ type RunConfig struct {
 	Reps int
 	// Threads sizes the worker pool; 0 = GOMAXPROCS.
 	Threads int
+	// Ctx, when non-nil, bounds every run: cancellation (SIGINT, -timeout)
+	// aborts the experiment at the next algorithm iteration boundary
+	// instead of leaving a long benchmark unkillable. nil means
+	// context.Background().
+	Ctx context.Context
+}
+
+func (c RunConfig) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c RunConfig) scale() Scale {
@@ -46,14 +59,15 @@ func (c RunConfig) opts(extra ...cc.Option) []cc.Option {
 // runs, returning the minimum wall time and the last result.
 func TimeAlgorithm(a cc.Algorithm, g *graph.Graph, cfg RunConfig, extra ...cc.Option) (time.Duration, cc.Result, error) {
 	opts := cfg.opts(extra...)
-	res, err := cc.Run(a, g, opts...)
+	ctx := cfg.ctx()
+	res, err := cc.RunContext(ctx, a, g, opts...)
 	if err != nil {
 		return 0, cc.Result{}, err
 	}
 	best := time.Duration(math.MaxInt64)
 	for i := 0; i < cfg.reps(); i++ {
 		start := time.Now()
-		res, err = cc.Run(a, g, opts...)
+		res, err = cc.RunContext(ctx, a, g, opts...)
 		if err != nil {
 			return 0, cc.Result{}, err
 		}

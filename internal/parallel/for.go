@@ -5,6 +5,9 @@ import "sync/atomic"
 // For runs fn over [0, n) on the pool, handing each worker dynamically
 // claimed chunks of the given grain size. fn receives half-open [lo, hi)
 // chunks. grain <= 0 selects a grain that yields ~4 chunks per worker.
+//
+// A panic in fn surfaces as a *PanicError panic on the calling goroutine
+// (see the package comment's failure contract).
 func For(pool *Pool, n, grain int, fn func(tid, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -21,7 +24,7 @@ func For(pool *Pool, n, grain int, fn func(tid, lo, hi int)) {
 		return
 	}
 	var next int64
-	pool.Run(func(tid int) {
+	pool.MustRun(func(tid int) {
 		for {
 			lo := int(atomic.AddInt64(&next, int64(grain))) - grain
 			if lo >= n {

@@ -1,0 +1,137 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestChaosRunRecoversPanic(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		p := NewPool(threads)
+		err := p.Run(func(tid int) {
+			if tid == 0 {
+				panic("boom")
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("threads=%d: want *PanicError, got %v", threads, err)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("threads=%d: panic value = %v, want boom", threads, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "hardening_test") {
+			t.Errorf("threads=%d: stack trace does not point at the panicking job:\n%s", threads, pe.Stack)
+		}
+		// The pool must remain usable after a panic.
+		var ran int32
+		if err := p.Run(func(int) { atomic.AddInt32(&ran, 1) }); err != nil {
+			t.Fatalf("threads=%d: Run after panic: %v", threads, err)
+		}
+		if int(ran) != threads {
+			t.Fatalf("threads=%d: post-panic Run reached %d workers", threads, ran)
+		}
+		p.Close()
+	}
+}
+
+func TestChaosAllWorkersPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		err := p.Run(func(tid int) { panic(tid) })
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("round %d: want *PanicError, got %v", i, err)
+		}
+	}
+	if err := p.Run(func(int) {}); err != nil {
+		t.Fatalf("pool unusable after repeated panics: %v", err)
+	}
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	p := NewPool(2)
+	defer p.Close()
+	err := p.Run(func(tid int) {
+		if tid == 1 {
+			panic(sentinel)
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is does not reach the panicked error: %v", err)
+	}
+}
+
+func TestRunAfterClose(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		p := NewPool(threads)
+		p.Close()
+		p.Close() // idempotent
+		if err := p.Run(func(int) { t.Error("job ran on closed pool") }); !errors.Is(err, ErrClosed) {
+			t.Fatalf("threads=%d: Run after Close = %v, want ErrClosed", threads, err)
+		}
+	}
+}
+
+func TestCloseAfterPanic(t *testing.T) {
+	p := NewPool(4)
+	if err := p.Run(func(int) { panic("x") }); err == nil {
+		t.Fatal("panic not reported")
+	}
+	p.Close() // must not hang or crash
+	if err := p.Run(func(int) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestChaosForPropagatesPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("For panicked with %T %v, want *PanicError", r, r)
+		}
+		if pe.Value != "mid-sweep" {
+			t.Fatalf("panic value = %v", pe.Value)
+		}
+	}()
+	For(p, 1<<16, 16, func(_, lo, _ int) {
+		if lo >= 1<<15 {
+			panic("mid-sweep")
+		}
+	})
+	t.Fatal("For returned normally despite a panicking body")
+}
+
+// TestAbandonedPoolIsFinalized verifies the leak backstop of the ownership
+// contract: a pool that goes unreachable without Close is shut down by its
+// finalizer, so its worker goroutines exit after GC instead of leaking
+// forever.
+func TestAbandonedPoolIsFinalized(t *testing.T) {
+	const threads = 8
+	before := runtime.NumGoroutine()
+	func() {
+		p := NewPool(threads)
+		p.Run(func(int) {}) // workers are live
+	}()
+	// The handle is now unreachable. Force the finalizer and wait for the
+	// workers to observe closed and exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		runtime.GC() // finalizer runs after the first cycle, Close takes effect before the next check
+		if runtime.NumGoroutine() <= before+threads/2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("worker goroutines leaked: %d before, %d after GC", before, runtime.NumGoroutine())
+}

@@ -9,18 +9,64 @@
 // The paper's runtime is pthreads + futex; here the persistent workers are
 // goroutines parked on a condition variable, which is the closest Go
 // equivalent (goroutine park/unpark is futex-based on Linux).
+//
+// # Ownership and failure contract
+//
+// A Pool owns its worker goroutines. Callers that create a pool with NewPool
+// should Close it when done; a pool that becomes unreachable without Close
+// is shut down by a finalizer at the next garbage collection, so abandoned
+// pools do not leak goroutines permanently — but relying on the finalizer
+// delays reclamation by a GC cycle, so explicit Close remains the contract
+// for anything long-lived. Closing is idempotent.
+//
+// A panic inside a job does not crash the process and does not wedge the
+// pool: the worker recovers it, the remaining workers drain normally, and
+// Run returns the first recovered panic as a *PanicError. The pool stays
+// usable for subsequent Run calls. Run on a closed pool returns ErrClosed
+// instead of deadlocking. The derived helpers (For, Fill, Copy, SumInt64,
+// MaxIndex, Stealer.Run) re-panic the *PanicError on the calling goroutine,
+// since their signatures carry results rather than errors; the public cc
+// API recovers it at its boundary and surfaces it as an error.
 package parallel
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
 
-// Pool is a master-worker pool of persistent goroutines. A Pool is created
-// once and reused across all parallel regions of an algorithm run, so that
-// iteration loops do not pay goroutine spawn costs per iteration — mirroring
-// the paper's persistent pthread workers synchronized with futexes.
-type Pool struct {
+// ErrClosed is returned by Run when the pool has been closed.
+var ErrClosed = errors.New("parallel: pool is closed")
+
+// PanicError wraps a panic recovered from a pool job, preserving the
+// panicking value and the worker's stack trace at the point of the panic.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the panicking worker goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes a wrapped error value so errors.Is/As reach panics that
+// carried an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// poolState is the shared master/worker state. It is split from Pool so the
+// worker goroutines hold only the inner state: a finalizer on the outer Pool
+// handle can then run once the handle is unreachable (the workers would
+// otherwise keep the handle alive forever and the finalizer would never
+// fire), closing abandoned pools instead of leaking their goroutines.
+type poolState struct {
 	mu      sync.Mutex
 	work    *sync.Cond // workers wait here for a new job generation
 	done    *sync.Cond // master waits here for job completion
@@ -29,49 +75,84 @@ type Pool struct {
 	gen     uint64 // increments per submitted job
 	active  int    // workers still running the current job
 	closed  bool
+	pnc     *PanicError // first panic recovered during the current job
+}
+
+// Pool is a master-worker pool of persistent goroutines. A Pool is created
+// once and reused across all parallel regions of an algorithm run, so that
+// iteration loops do not pay goroutine spawn costs per iteration — mirroring
+// the paper's persistent pthread workers synchronized with futexes.
+type Pool struct {
+	s *poolState
 }
 
 // NewPool creates a pool with the given number of worker goroutines.
-// threads <= 0 selects runtime.GOMAXPROCS(0).
+// threads <= 0 selects runtime.GOMAXPROCS(0). See the package comment for
+// the ownership contract: Close the pool when done with it.
 func NewPool(threads int) *Pool {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{threads: threads}
-	p.work = sync.NewCond(&p.mu)
-	p.done = sync.NewCond(&p.mu)
+	s := &poolState{threads: threads}
+	s.work = sync.NewCond(&s.mu)
+	s.done = sync.NewCond(&s.mu)
 	for t := 0; t < threads; t++ {
-		go p.worker(t)
+		go s.worker(t)
 	}
+	p := &Pool{s: s}
+	runtime.SetFinalizer(p, (*Pool).Close)
 	return p
 }
 
 // Threads returns the number of workers in the pool.
-func (p *Pool) Threads() int { return p.threads }
+func (p *Pool) Threads() int { return p.s.threads }
 
-func (p *Pool) worker(tid int) {
+// recoverPanic converts a recovered value into a *PanicError with the
+// current goroutine's stack.
+func recoverPanic(r any) *PanicError {
+	buf := make([]byte, 16<<10)
+	return &PanicError{Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+}
+
+// runJob invokes job(tid), converting a panic into a *PanicError instead of
+// letting it kill the goroutine (an unrecovered panic in any goroutine
+// terminates the whole process).
+func runJob(job func(tid int), tid int) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = recoverPanic(r)
+		}
+	}()
+	job(tid)
+	return nil
+}
+
+func (s *poolState) worker(tid int) {
 	var seen uint64
 	for {
-		p.mu.Lock()
-		for p.gen == seen && !p.closed {
-			p.work.Wait()
+		s.mu.Lock()
+		for s.gen == seen && !s.closed {
+			s.work.Wait()
 		}
-		if p.closed {
-			p.mu.Unlock()
+		if s.closed {
+			s.mu.Unlock()
 			return
 		}
-		seen = p.gen
-		job := p.job
-		p.mu.Unlock()
+		seen = s.gen
+		job := s.job
+		s.mu.Unlock()
 
-		job(tid)
+		pe := runJob(job, tid)
 
-		p.mu.Lock()
-		p.active--
-		if p.active == 0 {
-			p.done.Broadcast()
+		s.mu.Lock()
+		if pe != nil && s.pnc == nil {
+			s.pnc = pe
 		}
-		p.mu.Unlock()
+		s.active--
+		if s.active == 0 {
+			s.done.Broadcast()
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -79,33 +160,72 @@ func (p *Pool) worker(tid int) {
 // workers have finished. Run must not be called concurrently with itself or
 // Close; algorithms call it from a single master goroutine.
 //
+// If any worker's job panics, the panic is recovered, the remaining workers
+// finish their invocations normally, and Run returns the first panic as a
+// *PanicError; the pool remains usable. Run on a closed pool returns
+// ErrClosed.
+//
 // A single-thread pool runs the job inline on the calling goroutine: the
 // semantics (one invocation with tid 0, Run returns when it finishes) are
 // identical, and iteration loops skip two goroutine handoffs per region —
 // a fixed cost that dominates sparse-frontier iterations.
-func (p *Pool) Run(job func(tid int)) {
-	if p.threads == 1 {
-		job(0)
-		return
+func (p *Pool) Run(job func(tid int)) error {
+	s := p.s
+	if s.threads == 1 {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if pe := runJob(job, 0); pe != nil {
+			return pe
+		}
+		return nil
 	}
-	p.mu.Lock()
-	p.job = job
-	p.gen++
-	p.active = p.threads
-	gen := p.gen
-	p.work.Broadcast()
-	for p.active > 0 && p.gen == gen {
-		p.done.Wait()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
 	}
-	p.mu.Unlock()
+	s.job = job
+	s.gen++
+	s.active = s.threads
+	s.pnc = nil
+	gen := s.gen
+	s.work.Broadcast()
+	for s.active > 0 && s.gen == gen {
+		s.done.Wait()
+	}
+	pe := s.pnc
+	s.pnc = nil
+	s.mu.Unlock()
+	if pe != nil {
+		return pe
+	}
+	return nil
 }
 
-// Close shuts the worker goroutines down. The pool must be idle.
+// MustRun is Run for callers whose control flow cannot carry an error: a
+// recovered job panic is re-panicked on the calling goroutine as the
+// *PanicError (preserving the worker's stack in the message), to be caught
+// at an API boundary such as cc.RunContext. Run-after-Close also panics.
+func (p *Pool) MustRun(job func(tid int)) {
+	if err := p.Run(job); err != nil {
+		panic(err)
+	}
+}
+
+// Close shuts the worker goroutines down. The pool must be idle (no Run in
+// flight). Close is idempotent and remains safe after a job panic; a closed
+// pool rejects further Run calls with ErrClosed.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	p.closed = true
-	p.work.Broadcast()
-	p.mu.Unlock()
+	runtime.SetFinalizer(p, nil)
+	s := p.s
+	s.mu.Lock()
+	s.closed = true
+	s.work.Broadcast()
+	s.mu.Unlock()
 }
 
 var (
@@ -118,7 +238,7 @@ var (
 func Default() *Pool {
 	defaultPoolMu.Lock()
 	defer defaultPoolMu.Unlock()
-	if defaultPool == nil || defaultPool.threads != runtime.GOMAXPROCS(0) {
+	if defaultPool == nil || defaultPool.Threads() != runtime.GOMAXPROCS(0) {
 		if defaultPool != nil {
 			defaultPool.Close()
 		}

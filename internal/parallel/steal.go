@@ -76,9 +76,11 @@ func (s *Stealer) Work(tid int, fn func(p Range)) {
 
 // Run partitions-over-pool convenience: schedules parts on pool with work
 // stealing and blocks until every partition has been processed exactly once.
+// A panic in fn surfaces as a *PanicError panic on the calling goroutine
+// (see the package comment's failure contract).
 func (s *Stealer) Run(pool *Pool, fn func(tid int, p Range)) {
 	s.Reset()
-	pool.Run(func(tid int) {
+	pool.MustRun(func(tid int) {
 		s.Work(tid, func(p Range) { fn(tid, p) })
 	})
 }

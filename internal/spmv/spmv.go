@@ -176,7 +176,7 @@ func RunOn(g *graph.Graph, p Program, pool *parallel.Pool) Result {
 // a value cannot travel multiple hops within one iteration.
 func pushIter(g *graph.Graph, p Program, pool *parallel.Pool, values []uint32, cur, next *worklist.Set) (int64, int64) {
 	var av, ae int64
-	pool.Run(func(tid int) {
+	pool.MustRun(func(tid int) {
 		var lv, le int64
 		cur.Drain(tid, func(v uint32) {
 			x := atomicx.LoadUint32(&values[v])
