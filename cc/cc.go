@@ -59,6 +59,9 @@ type IterationStats struct {
 	Kind string
 	// Active is the frontier size at iteration start.
 	Active int64
+	// ActiveEdges is the summed degree of the frontier at iteration start
+	// (the |F.E| term of the density ratio).
+	ActiveEdges int64
 	// Changed is the number of vertices whose label changed.
 	Changed int64
 	// ConvergedZero is the number of vertices holding label 0 at iteration
@@ -68,6 +71,9 @@ type IterationStats struct {
 	Edges int64
 	// Density is the frontier density that drove the direction decision.
 	Density float64
+	// Threshold is the push/pull density threshold the direction decision
+	// compared Density against; together they carry the *why* of the choice.
+	Threshold float64
 	// Duration is the iteration's wall time.
 	Duration time.Duration
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"thriftylp/graph"
 	"thriftylp/internal/core"
@@ -21,6 +22,11 @@ type Result struct {
 	Iterations int
 	// PushIterations and PullIterations decompose label-propagation runs.
 	PushIterations, PullIterations int
+	// Stats carries the run's always-on telemetry: wall time, per-phase
+	// durations, and scheduler activity — all collected at iteration and
+	// partition boundaries, so it is populated even on the uninstrumented
+	// fast path. Nil only on hand-constructed Results.
+	Stats *RunStats
 
 	// census lazily caches the component count. A pointer rather than an
 	// embedded sync.Once so Result stays copyable (vet copylocks) and all
@@ -185,9 +191,33 @@ func RunContext(ctx context.Context, a Algorithm, g *graph.Graph, opts ...Option
 		}
 	}()
 
+	// Always-on run telemetry: the pool snapshot delta and the wall clock
+	// bracket the run; everything else rides out of core.Result bookkeeping
+	// that the kernels maintain at iteration/partition boundaries.
+	statsPool := o.cfg.Pool
+	if statsPool == nil {
+		statsPool = parallel.Default()
+	}
+	poolBefore := statsPool.Stats()
+	start := time.Now()
+
 	cres, err := run(a, g, o)
 	if err != nil {
 		return Result{}, err
+	}
+
+	stats := &RunStats{
+		Algorithm:      a,
+		Duration:       time.Since(start),
+		PhaseDurations: cres.PhaseDurations,
+	}
+	poolDelta := statsPool.Stats().Sub(poolBefore)
+	stats.Sched = SchedStats{
+		PartitionsOwned:  cres.Sched.Owned,
+		PartitionsStolen: cres.Sched.Stolen,
+		FailedSteals:     cres.Sched.FailedSteals,
+		PoolJobs:         poolDelta.JobsRun,
+		PoolIdle:         poolDelta.Idle,
 	}
 
 	if o.inst != nil {
@@ -199,6 +229,7 @@ func RunContext(ctx context.Context, a Algorithm, g *graph.Graph, opts ...Option
 		for _, rec := range o.cfg.Trace.Iters {
 			o.inst.Iterations = append(o.inst.Iterations, toIterStats(rec))
 		}
+		stats.Events = o.inst.Events
 	}
 
 	res := Result{
@@ -206,6 +237,7 @@ func RunContext(ctx context.Context, a Algorithm, g *graph.Graph, opts ...Option
 		Iterations:     cres.Iterations,
 		PushIterations: cres.PushIterations,
 		PullIterations: cres.PullIterations,
+		Stats:          stats,
 		census:         &resultCensus{},
 	}
 	if cres.Canceled {
@@ -224,10 +256,12 @@ func toIterStats(rec counters.IterRecord) IterationStats {
 		Index:         rec.Index,
 		Kind:          string(rec.Kind),
 		Active:        rec.Active,
+		ActiveEdges:   rec.ActiveEdges,
 		Changed:       rec.Changed,
 		ConvergedZero: rec.Zero,
 		Edges:         rec.Edges,
 		Density:       rec.Density,
+		Threshold:     rec.Threshold,
 		Duration:      rec.Duration,
 	}
 }

@@ -1,0 +1,57 @@
+package cc
+
+import "time"
+
+// SchedStats summarizes the runtime-scheduler activity of one run. All of it
+// is collected at partition and job boundaries — never per edge — so it is
+// available even on the uninstrumented fast path at no measurable cost.
+type SchedStats struct {
+	// PartitionsOwned counts sweep partitions a worker ran from its own
+	// block; PartitionsStolen counts partitions taken from another worker's
+	// block (the §V-A work-stealing discipline). Their ratio is the
+	// load-balance signal: a healthy skewed-graph run steals a small but
+	// non-zero fraction. Both are zero under WithDynamicScheduling and for
+	// algorithms that do not sweep through the stealer.
+	PartitionsOwned  int64
+	PartitionsStolen int64
+	// FailedSteals counts steal-scan claim attempts that found the
+	// partition already taken.
+	FailedSteals int64
+	// PoolJobs counts worker-job invocations on the run's pool and PoolIdle
+	// sums the time those workers spent parked between jobs. On the shared
+	// default pool these are deltas over the run's duration; concurrent
+	// runs sharing a pool will see each other's activity.
+	PoolJobs int64
+	PoolIdle time.Duration
+}
+
+// RunStats is the always-on telemetry of a run, attached to every Result by
+// Run/RunContext. Unlike WithInstrumentation — which switches the kernels to
+// their counting path and taxes the traversal — RunStats is assembled
+// entirely from iteration- and partition-boundary bookkeeping, so requesting
+// it does not perturb what it measures.
+type RunStats struct {
+	// Algorithm is the algorithm that produced the result.
+	Algorithm Algorithm
+	// Duration is the wall time of the whole run.
+	Duration time.Duration
+	// PhaseDurations sums wall time per iteration kind ("pull", "push",
+	// "pull-frontier", "initial-push"), measured at iteration boundaries.
+	// Nil for the union-find algorithms, whose passes are not phase loops.
+	PhaseDurations map[string]time.Duration
+	// Sched is the run's scheduler activity.
+	Sched SchedStats
+	// Events maps event name → software event count (same names as
+	// Instrumentation.Events). Nil unless the run was instrumented: event
+	// counting requires the kernels' counting path.
+	Events map[string]int64
+}
+
+// PhaseDuration returns the summed wall time of one iteration kind, zero if
+// the phase never ran.
+func (s *RunStats) PhaseDuration(kind string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.PhaseDurations[kind]
+}

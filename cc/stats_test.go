@@ -1,0 +1,108 @@
+package cc_test
+
+import (
+	"testing"
+	"time"
+
+	"thriftylp/cc"
+	"thriftylp/graph/gen"
+)
+
+// TestRunStatsAlwaysOn: every Run attaches RunStats, without requesting
+// instrumentation — it is assembled from boundary bookkeeping only.
+func TestRunStatsAlwaysOn(t *testing.T) {
+	g, err := gen.RMATCompact(gen.DefaultRMAT(12, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.Run(cc.AlgoThrifty, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st == nil {
+		t.Fatal("Stats nil on uninstrumented run")
+	}
+	if st.Algorithm != cc.AlgoThrifty {
+		t.Errorf("Algorithm = %q", st.Algorithm)
+	}
+	if st.Duration <= 0 {
+		t.Errorf("Duration = %v, want > 0", st.Duration)
+	}
+	if st.Sched.PartitionsOwned+st.Sched.PartitionsStolen <= 0 {
+		t.Errorf("no partitions scheduled: %+v", st.Sched)
+	}
+	if st.Events != nil {
+		t.Errorf("Events = %v on uninstrumented run, want nil", st.Events)
+	}
+	if len(st.PhaseDurations) == 0 {
+		t.Fatalf("no phase durations")
+	}
+	var sum time.Duration
+	for kind, d := range st.PhaseDurations {
+		if d < 0 {
+			t.Errorf("phase %q duration %v < 0", kind, d)
+		}
+		sum += d
+	}
+	if sum > st.Duration {
+		t.Errorf("phase durations sum %v exceeds run duration %v", sum, st.Duration)
+	}
+	if st.PhaseDuration("initial-push") <= 0 {
+		t.Errorf("Thrifty run has no initial-push phase time: %v", st.PhaseDurations)
+	}
+	// Nil receiver is safe (hand-constructed Results have no stats).
+	var nilStats *cc.RunStats
+	if nilStats.PhaseDuration("pull") != 0 {
+		t.Errorf("nil PhaseDuration != 0")
+	}
+}
+
+// TestRunStatsEventsMatchInstrumentation: on an instrumented run the same
+// event totals are reachable through both surfaces.
+func TestRunStatsEventsMatchInstrumentation(t *testing.T) {
+	g, err := gen.RMATCompact(gen.DefaultRMAT(11, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &cc.Instrumentation{}
+	res, err := cc.Run(cc.AlgoThrifty, g, cc.WithInstrumentation(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.Events == nil {
+		t.Fatal("instrumented run has no Stats.Events")
+	}
+	if res.Stats.Events["edges"] != inst.Events["edges"] || inst.Events["edges"] <= 0 {
+		t.Errorf("Stats.Events edges = %d, Instrumentation says %d",
+			res.Stats.Events["edges"], inst.Events["edges"])
+	}
+	// Iteration records carry the direction-decision inputs.
+	for i, it := range inst.Iterations {
+		if it.Threshold <= 0 {
+			t.Errorf("iteration %d has no threshold: %+v", i, it)
+		}
+		if i > 0 && it.ActiveEdges <= 0 && it.Active > 0 {
+			t.Errorf("iteration %d active=%d but active_edges=%d", i, it.Active, it.ActiveEdges)
+		}
+	}
+}
+
+// TestRunStatsUnionFind: union-find algorithms report scheduler stats but no
+// phase map.
+func TestRunStatsUnionFind(t *testing.T) {
+	g, err := gen.ErdosRenyi(2000, 6000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.Run(cc.AlgoAfforest, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil {
+		t.Fatal("Stats nil")
+	}
+	if res.Stats.Duration <= 0 {
+		t.Errorf("Duration = %v", res.Stats.Duration)
+	}
+}

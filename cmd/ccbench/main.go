@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"thriftylp/internal/harness"
+	"thriftylp/internal/obs"
 )
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 		jsonOut = flag.String("json", "", "run the perf-regression suite and write JSON results to this file")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		trace   = flag.String("trace", "", "with -json: write per-iteration trace records of one instrumented run per cell to this JSONL file")
+		httpAd  = flag.String("http", "", "serve /metrics, expvar and /debug/pprof on this address while the suite runs")
 	)
 	flag.Parse()
 
@@ -68,7 +71,36 @@ func main() {
 		Ctx:     ctx,
 	}
 
+	if *trace != "" && *jsonOut == "" {
+		fatalf("-trace requires -json (tracing instruments the regression suite cells)")
+	}
+	if *httpAd != "" {
+		srv, err := obs.Serve(*httpAd, obs.NewRegistry(), nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server listening on %s\n", srv.URL())
+	}
+
 	if *jsonOut != "" {
+		if *trace != "" {
+			tw, err := obs.CreateTrace(*trace)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer func() {
+				if err := tw.Close(); err != nil {
+					fatalf("closing trace: %v", err)
+				}
+			}()
+			cfg.Trace = tw
+		}
+		// The previous report (if any) is read before it is overwritten, so
+		// a host change between the two measurements can be flagged: a delta
+		// across differing hosts is not a code regression signal.
+		prev, prevErr := harness.ReadBenchReport(*jsonOut)
+
 		start := time.Now()
 		rep, err := harness.BenchRegression(cfg)
 		if err != nil {
@@ -76,6 +108,11 @@ func main() {
 		}
 		if err := rep.WriteJSON(*jsonOut); err != nil {
 			fatalf("writing %s: %v", *jsonOut, err)
+		}
+		if prevErr == nil {
+			for _, line := range rep.HostMismatch(prev) {
+				fmt.Fprintf(os.Stderr, "ccbench: warning: host mismatch vs previous %s: %s\n", *jsonOut, line)
+			}
 		}
 		fmt.Print(rep.Render())
 		fmt.Printf("(regression suite completed in %v, wrote %s)\n",

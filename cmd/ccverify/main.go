@@ -16,15 +16,28 @@ import (
 	"thriftylp/cc"
 	"thriftylp/graph"
 	"thriftylp/graph/gen"
+	"thriftylp/internal/obs"
 )
 
 func main() {
 	var (
-		in    = flag.String("in", "", "validate on this graph file instead of the generated battery")
-		seeds = flag.Int("seeds", 5, "random instances per generator family")
-		quiet = flag.Bool("q", false, "only print failures and the final summary")
+		in     = flag.String("in", "", "validate on this graph file instead of the generated battery")
+		seeds  = flag.Int("seeds", 5, "random instances per generator family")
+		quiet  = flag.Bool("q", false, "only print failures and the final summary")
+		httpAd = flag.String("http", "", "serve /metrics, expvar and /debug/pprof on this address while the battery runs")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *httpAd != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*httpAd, reg, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server listening on %s\n", srv.URL())
+	}
 
 	var cases []struct {
 		name string
@@ -70,6 +83,9 @@ func main() {
 		for _, a := range cc.Algorithms() {
 			res, err := cc.Run(a, tc.g)
 			checks++
+			if reg != nil && err == nil {
+				reg.ObserveRun(&res)
+			}
 			if err != nil {
 				failures++
 				fmt.Printf("FAIL %-20s %-16s error: %v\n", tc.name, a, err)

@@ -17,6 +17,7 @@ import (
 	"thriftylp/graph"
 	"thriftylp/graph/gen"
 	"thriftylp/internal/harness"
+	"thriftylp/internal/stats"
 )
 
 func main() {
@@ -45,7 +46,16 @@ func main() {
 	if err := writeGraph(*out, g); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, g.NumVertices(), g.NumEdges())
+	fmt.Printf("wrote %s: %s\n", *out, summarize(g))
+}
+
+// summarize renders the generation summary: size, max degree and the
+// degree-skew estimate that tells whether the graph is in the regime the
+// Thrifty direction heuristics target.
+func summarize(g *graph.Graph) string {
+	ds := stats.Degrees(g)
+	return fmt.Sprintf("%d vertices, %d edges, max degree %d, skew %.1fx mean (alpha %.2f, power-law %v)",
+		g.NumVertices(), g.NumEdges(), ds.Max, ds.SkewRatio, ds.Alpha, stats.IsSkewed(ds))
 }
 
 func buildSpec(spec string, seed uint64) (*graph.Graph, error) {
@@ -103,8 +113,9 @@ func writeSuite(s harness.Scale, dir string) error {
 		if err := graph.SaveBinary(path, g); err != nil {
 			return fmt.Errorf("writing %s: %w", path, err)
 		}
-		fmt.Printf("wrote %-20s %12d vertices %14d edges  (analog of %s)\n",
-			path, g.NumVertices(), g.NumEdges(), d.Analog)
+		ds := stats.Degrees(g)
+		fmt.Printf("wrote %-20s %12d vertices %14d edges  max-deg %8d  skew %8.1fx  (analog of %s)\n",
+			path, g.NumVertices(), g.NumEdges(), ds.Max, ds.SkewRatio, d.Analog)
 	}
 	return nil
 }

@@ -19,8 +19,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +30,7 @@ import (
 	"thriftylp/cc"
 	"thriftylp/graph"
 	"thriftylp/graph/gen"
+	"thriftylp/internal/obs"
 	"thriftylp/internal/stats"
 )
 
@@ -43,6 +46,10 @@ func main() {
 		stat    = flag.Bool("stats", false, "print degree-distribution and census statistics")
 		inst    = flag.Bool("instrument", false, "print software event counters and per-iteration trace")
 		timeout = flag.Duration("timeout", 0, "abort runs after this duration (0 = no limit)")
+		trace   = flag.String("trace", "", "write per-iteration trace records to this JSONL file")
+		httpAd  = flag.String("http", "", "serve /metrics, expvar and /debug/pprof on this address (e.g. :6060 or :0)")
+		hold    = flag.Bool("hold", false, "with -http: keep the debug server alive after the runs until SIGINT")
+		logLvl  = flag.String("log", "", "structured run logging to stderr: info or debug (default off)")
 	)
 	flag.Parse()
 
@@ -56,6 +63,40 @@ func main() {
 		var tcancel context.CancelFunc
 		ctx, tcancel = context.WithTimeout(ctx, *timeout)
 		defer tcancel()
+	}
+
+	env := &runEnv{log: obs.NopLogger(), dataset: datasetName(*in, *genSpec)}
+	switch *logLvl {
+	case "":
+	case "info":
+		env.log = obs.NewLogger(os.Stderr, slog.LevelInfo, false)
+	case "debug":
+		env.log = obs.NewLogger(os.Stderr, slog.LevelDebug, false)
+	default:
+		fatalf("-log must be info or debug, got %q", *logLvl)
+	}
+	if *httpAd != "" {
+		env.reg = obs.NewRegistry()
+		srv, err := obs.Serve(*httpAd, env.reg, env.log)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		// Printed on stdout so scripts (and the CI smoke job) can discover
+		// the resolved port when -http :0 is used.
+		fmt.Printf("debug server listening on %s\n", srv.URL())
+	}
+	if *trace != "" {
+		tw, err := obs.CreateTrace(*trace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fatalf("closing trace: %v", err)
+			}
+		}()
+		env.trace = tw
 	}
 
 	g, err := loadGraph(*in, *genSpec, *seed)
@@ -75,7 +116,7 @@ func main() {
 	}
 
 	for _, a := range algos {
-		if err := runOne(ctx, a, g, *reps, *threads, *verify, *inst); err != nil {
+		if err := runOne(ctx, a, g, *reps, *threads, *verify, *inst, env); err != nil {
 			var ce *cc.CanceledError
 			if errors.As(err, &ce) {
 				if errors.Is(err, context.DeadlineExceeded) {
@@ -86,6 +127,27 @@ func main() {
 			fatalf("%s: %v", a, err)
 		}
 	}
+
+	if *hold && *httpAd != "" {
+		fmt.Println("holding for debug server; interrupt (Ctrl-C) to exit")
+		<-ctx.Done()
+	}
+}
+
+// runEnv carries the observability sinks shared by all runs of an invocation.
+type runEnv struct {
+	trace   *obs.TraceWriter
+	reg     *obs.Registry
+	log     *slog.Logger
+	dataset string
+}
+
+// datasetName labels trace records with the graph's provenance.
+func datasetName(in, spec string) string {
+	if in != "" {
+		return in
+	}
+	return spec
 }
 
 func algoNames() string {
@@ -96,16 +158,24 @@ func algoNames() string {
 	return strings.Join(names, ", ")
 }
 
-func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, reps, threads int, verify, instrument bool) error {
+func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, reps, threads int, verify, instrument bool, env *runEnv) error {
 	var opts []cc.Option
 	if threads > 0 {
 		opts = append(opts, cc.WithThreads(threads))
 	}
 	var instData *cc.Instrumentation
-	if instrument {
+	// Tracing needs the per-iteration record stream, which only the
+	// instrumented (counting) path produces.
+	if instrument || env.trace != nil {
 		instData = &cc.Instrumentation{}
 		opts = append(opts, cc.WithInstrumentation(instData))
 	}
+	rlog := obs.RunLogger{Log: env.log}
+	nthreads := threads
+	if nthreads == 0 {
+		nthreads = runtime.GOMAXPROCS(0)
+	}
+	rlog.Start(a, g.NumVertices(), g.NumEdges(), nthreads)
 
 	best := time.Duration(1<<63 - 1)
 	var res cc.Result
@@ -114,12 +184,28 @@ func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, reps, threads i
 		start := time.Now()
 		res, err = cc.RunContext(ctx, a, g, opts...)
 		if err != nil {
+			var ce *cc.CanceledError
+			if errors.As(err, &ce) {
+				rlog.Canceled(ce)
+			}
 			return err
+		}
+		if env.trace != nil {
+			if terr := env.trace.WriteRun(string(a), env.dataset, i, instData.Iterations); terr != nil {
+				return fmt.Errorf("writing trace: %w", terr)
+			}
+		}
+		if env.reg != nil {
+			env.reg.ObserveRun(&res)
+		}
+		if instData != nil {
+			rlog.Iterations(a, instData.Iterations)
 		}
 		if d := time.Since(start); d < best {
 			best = d
 		}
 	}
+	rlog.Done(&res)
 	fmt.Printf("%-14s %10.3f ms   %d components, %d iterations (%d push, %d pull)\n",
 		a, float64(best.Nanoseconds())/1e6, res.NumComponents(), res.Iterations,
 		res.PushIterations, res.PullIterations)

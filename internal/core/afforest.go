@@ -134,6 +134,7 @@ func Afforest(g *graph.Graph, cfg Config) Result {
 			// it so the returned labels are root ids, then bail.
 			afforestCompress(pool, comp, fl)
 			res.Labels = comp
+			res.Sched = sch.stealStats()
 			return res
 		}
 	}
@@ -170,5 +171,6 @@ func Afforest(g *graph.Graph, cfg Config) Result {
 	afforestCompress(pool, comp, fl)
 
 	res.Labels = comp
+	res.Sched = sch.stealStats()
 	return res
 }

@@ -68,6 +68,7 @@ func ConnectItKOut(g *graph.Graph, cfg Config) Result {
 			// it so the returned labels are root ids, then bail.
 			afforestCompress(pool, comp, fl)
 			res.Labels = comp
+			res.Sched = sch.stealStats()
 			return res
 		}
 	}
@@ -77,6 +78,7 @@ func ConnectItKOut(g *graph.Graph, cfg Config) Result {
 	res.Iterations++
 	cfg.cancelPoint(&res, PhaseFinish)
 	res.Labels = comp
+	res.Sched = sch.stealStats()
 	return res
 }
 

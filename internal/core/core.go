@@ -10,6 +10,8 @@
 package core
 
 import (
+	"time"
+
 	"thriftylp/internal/counters"
 	"thriftylp/internal/parallel"
 )
@@ -110,6 +112,17 @@ type Result struct {
 	// label-propagation algorithms (Table VII); zero for union-find.
 	PushIterations int
 	PullIterations int
+	// Sched aggregates the run's partition-scheduling activity (partitions
+	// run from a thread's own block vs stolen, failed steal attempts).
+	// Collected at partition boundaries only, so it is populated even on the
+	// uninstrumented fast path; zero under the DynamicScheduling ablation
+	// and for kernels that do not sweep through the stealer.
+	Sched parallel.StealStats
+	// PhaseDurations sums wall time per iteration kind ("pull", "push",
+	// "pull-frontier", "initial-push"), measured at iteration boundaries.
+	// Populated by the label-propagation kernels; nil for the union-find
+	// family, whose passes are not phase loops.
+	PhaseDurations map[string]time.Duration
 	// Canceled reports that the run stopped at a cancellation point before
 	// converging; Labels then holds the algorithm's intermediate state (for
 	// the LP family a refinement en route to the partition, for union-find

@@ -49,12 +49,13 @@ func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 
 	res := Result{}
 	maxIters := cfg.maxIters(n)
+	phases := make(map[string]time.Duration, 2)
 	phase := string(counters.KindPull)
 	for oldFr.activeV > 0 && res.Iterations < maxIters {
 		start := time.Now()
 		ctrBefore := cfg.Ctr.Total(counters.EdgesProcessed)
 		density := oldFr.density(g)
-		activeAtStart := oldFr.activeV
+		activeAtStart, activeEAtStart := oldFr.activeV, oldFr.activeE
 		var changed int64
 		var kind counters.IterKind
 
@@ -77,15 +78,19 @@ func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 		cfg.Lines.FlushIteration(cfg.Ctr, 0)
 
 		res.Iterations++
+		dur := time.Since(start)
+		phases[string(kind)] += dur
 		if cfg.Trace.Enabled() {
 			cfg.Trace.Record(counters.IterRecord{
-				Index:    res.Iterations - 1,
-				Kind:     kind,
-				Active:   activeAtStart,
-				Changed:  changed,
-				Edges:    cfg.Ctr.Total(counters.EdgesProcessed) - ctrBefore,
-				Density:  density,
-				Duration: time.Since(start),
+				Index:       res.Iterations - 1,
+				Kind:        kind,
+				Active:      activeAtStart,
+				ActiveEdges: activeEAtStart,
+				Changed:     changed,
+				Edges:       cfg.Ctr.Total(counters.EdgesProcessed) - ctrBefore,
+				Density:     density,
+				Threshold:   threshold,
+				Duration:    dur,
 			}, labels)
 		}
 		// Cancellation before the loop condition re-evaluates: a cancelled
@@ -96,6 +101,8 @@ func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 		}
 	}
 	res.Labels = labels
+	res.Sched = sch.stealStats()
+	res.PhaseDurations = phases
 	return res
 }
 

@@ -119,5 +119,6 @@ func FastSV(g *graph.Graph, cfg Config) Result {
 		}
 	})
 	res.Labels = f
+	res.Sched = sch.stealStats()
 	return res
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"thriftylp/graph"
 	"thriftylp/internal/counters"
@@ -36,9 +37,34 @@ func lpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 
 	res := Result{}
 	maxIters := cfg.maxIters(n)
+	var pullTime time.Duration
+	totalE := g.Offsets()[n] // every iteration scans the full adjacency
 	for res.Iterations < maxIters {
+		start := time.Now()
+		var ebefore int64
+		if cfg.Trace.Enabled() {
+			ebefore = cfg.Ctr.Total(counters.EdgesProcessed)
+		}
 		changed := lpSweep(g, sch, oldLbs, newLbs, cfg.Stop, proto)
 		res.Iterations++
+		dur := time.Since(start)
+		pullTime += dur
+		if cfg.Trace.Enabled() {
+			// LP has no frontier and no direction decision: every vertex is
+			// active every iteration, density is by definition 1 and there is
+			// no threshold to compare against.
+			cfg.Trace.Record(counters.IterRecord{
+				Index:       res.Iterations - 1,
+				Kind:        counters.KindPull,
+				Active:      int64(n),
+				ActiveEdges: totalE,
+				Changed:     changed,
+				Zero:        int64(n) - changed,
+				Edges:       cfg.Ctr.Total(counters.EdgesProcessed) - ebefore,
+				Density:     1,
+				Duration:    dur,
+			}, newLbs)
+		}
 		// The cancellation check must precede the convergence check: a
 		// cancelled sweep skips partitions, and its changed count of 0
 		// means "aborted", not "fixed point".
@@ -52,6 +78,8 @@ func lpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	}
 	res.Labels = newLbs
 	res.PullIterations = res.Iterations
+	res.Sched = sch.stealStats()
+	res.PhaseDurations = map[string]time.Duration{string(counters.KindPull): pullTime}
 	return res
 }
 

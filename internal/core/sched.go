@@ -29,6 +29,15 @@ func newScheduler(g *graph.Graph, cfg Config, pool *parallel.Pool) *scheduler {
 	return s
 }
 
+// stealStats returns the accumulated partition-scheduling counters of this
+// run's sweeps, or zeros under the dynamic-chunking ablation.
+func (s *scheduler) stealStats() parallel.StealStats {
+	if s.stealer == nil {
+		return parallel.StealStats{}
+	}
+	return s.stealer.Stats()
+}
+
 // sweep runs fn over [0, n) in parallel under the configured discipline.
 // fn receives half-open [lo, hi) vertex ranges.
 func (s *scheduler) sweep(fn func(tid, lo, hi int)) {

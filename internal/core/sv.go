@@ -87,5 +87,6 @@ func ShiloachVishkin(g *graph.Graph, cfg Config) Result {
 		}
 	}
 	res.Labels = comp
+	res.Sched = sch.stealStats()
 	return res
 }

@@ -81,20 +81,26 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	res := Result{}
 	maxIters := cfg.maxIters(n)
 
+	// phases accumulates per-kind wall time at iteration boundaries — one
+	// map update per iteration, paid on every path including noInstr.
+	phases := make(map[string]time.Duration, 4)
+
 	// record wraps trace emission; zero counting is only paid when tracing.
-	record := func(start time.Time, kind counters.IterKind, active, changed, edges int64, density float64) {
+	record := func(dur time.Duration, kind counters.IterKind, active, activeE, changed, edges int64, density float64) {
 		if !cfg.Trace.Enabled() {
 			return
 		}
 		cfg.Trace.Record(counters.IterRecord{
-			Index:    res.Iterations - 1,
-			Kind:     kind,
-			Active:   active,
-			Changed:  changed,
-			Zero:     countZeros(pool, labels),
-			Edges:    edges,
-			Density:  density,
-			Duration: time.Since(start),
+			Index:       res.Iterations - 1,
+			Kind:        kind,
+			Active:      active,
+			ActiveEdges: activeE,
+			Changed:     changed,
+			Zero:        countZeros(pool, labels),
+			Edges:       edges,
+			Density:     density,
+			Threshold:   threshold,
+			Duration:    dur,
 		}, labels)
 	}
 
@@ -117,7 +123,9 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 		cfg.Lines.FlushIteration(cfg.Ctr, 0)
 		res.Iterations++
 		res.PushIterations++
-		record(start, counters.KindInitialPush, 1, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, 0)
+		dur := time.Since(start)
+		phases[string(counters.KindInitialPush)] += dur
+		record(dur, counters.KindInitialPush, 1, int64(g.Degree(maxV)), activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, 0)
 	}
 
 	// cur now holds the detailed frontier produced by the initial push
@@ -152,40 +160,35 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 		start := time.Now()
 		ebefore := cfg.Ctr.Total(counters.EdgesProcessed)
 		density := float64(activeV+activeE) / float64(m)
-		activeAtStart := activeV
+		activeAtStart, activeEAtStart := activeV, activeE
+		var kind counters.IterKind
 
 		switch {
 		case didPull && density < threshold && haveFrontier:
 			// --- Push traversal over the detailed sparse frontier ---
-			phase = string(counters.KindPush)
+			kind = counters.KindPush
 			activeV, activeE = thriftyPush(g, pool, labels, cur, next, activeV+activeE, cfg.Stop, proto)
 			cur, next = next, cur
 			next.Reset()
-			res.Iterations++
 			res.PushIterations++
-			cfg.Lines.FlushIteration(cfg.Ctr, 0)
-			record(start, counters.KindPush, activeAtStart, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, density)
 
 		case didPull && density < threshold && !haveFrontier:
 			// --- Pull-Frontier: the bridge iteration (§IV-E) --- the last
 			// dense-style pull, which additionally records which vertices
 			// became active so the following push iterations have a
 			// worklist to consume.
-			phase = string(counters.KindPullFrontier)
+			kind = counters.KindPullFrontier
 			cur.Reset()
 			activeV, activeE = thriftyPull(g, sch, labels, cur, true, cfg.Stop, proto)
 			haveFrontier = true
-			res.Iterations++
 			res.PullIterations++
-			cfg.Lines.FlushIteration(cfg.Ctr, 0)
-			record(start, counters.KindPullFrontier, activeAtStart, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, density)
 
 		default:
 			// --- Pull traversal with Zero Convergence, counting only ---
 			// (under the EagerFrontier ablation every pull also records the
 			// detailed frontier, paying the insertion cost the paper's
 			// counting-only design avoids).
-			phase = string(counters.KindPull)
+			kind = counters.KindPull
 			if cfg.EagerFrontier {
 				cur.Reset()
 				activeV, activeE = thriftyPull(g, sch, labels, cur, true, cfg.Stop, proto)
@@ -195,17 +198,22 @@ func thriftyRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 				haveFrontier = false
 			}
 			didPull = true
-			res.Iterations++
 			res.PullIterations++
-			cfg.Lines.FlushIteration(cfg.Ctr, 0)
-			record(start, counters.KindPull, activeAtStart, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, density)
 		}
+		phase = string(kind)
+		res.Iterations++
+		cfg.Lines.FlushIteration(cfg.Ctr, 0)
+		dur := time.Since(start)
+		phases[phase] += dur
+		record(dur, kind, activeAtStart, activeEAtStart, activeV, cfg.Ctr.Total(counters.EdgesProcessed)-ebefore, density)
 		if cfg.cancelPoint(&res, phase) {
 			break
 		}
 	}
 
 	res.Labels = labels
+	res.Sched = sch.stealStats()
+	res.PhaseDurations = phases
 	return res
 }
 

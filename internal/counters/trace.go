@@ -18,14 +18,16 @@ const (
 // IterRecord is the per-iteration telemetry row used to regenerate Fig 3,
 // Fig 7/8, Table VI and Table VII.
 type IterRecord struct {
-	Index    int           // iteration number, counting the initial push as 0
-	Kind     IterKind      // traversal direction chosen
-	Active   int64         // active vertices at iteration start (frontier size)
-	Changed  int64         // vertices whose label changed this iteration
-	Zero     int64         // vertices holding label 0 at iteration end
-	Edges    int64         // edges processed during this iteration
-	Density  float64       // (|F.V|+|F.E|)/|E| density that drove the direction choice
-	Duration time.Duration // wall time of the iteration
+	Index       int           // iteration number, counting the initial push as 0
+	Kind        IterKind      // traversal direction chosen
+	Active      int64         // active vertices at iteration start (frontier size)
+	ActiveEdges int64         // summed degree of the frontier at iteration start (|F.E|)
+	Changed     int64         // vertices whose label changed this iteration
+	Zero        int64         // vertices holding label 0 at iteration end
+	Edges       int64         // edges processed during this iteration
+	Density     float64       // (|F.V|+|F.E|)/|E| density that drove the direction choice
+	Threshold   float64       // push/pull density threshold the decision was made against
+	Duration    time.Duration // wall time of the iteration
 }
 
 // Trace collects per-iteration records of one algorithm run. A nil *Trace is

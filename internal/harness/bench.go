@@ -7,6 +7,7 @@ import (
 
 	"thriftylp/cc"
 	"thriftylp/graph"
+	"thriftylp/internal/obs"
 )
 
 // RunConfig carries experiment-wide settings.
@@ -24,6 +25,11 @@ type RunConfig struct {
 	// instead of leaving a long benchmark unkillable. nil means
 	// context.Background().
 	Ctx context.Context
+	// Trace, when non-nil, receives per-iteration JSONL records from one
+	// extra instrumented run per regression cell. The traced run is separate
+	// from the timed repetitions so tracing never perturbs the reported
+	// fast-path numbers.
+	Trace *obs.TraceWriter
 }
 
 func (c RunConfig) ctx() context.Context {

@@ -46,6 +46,10 @@ var regressionAlgos = []cc.Algorithm{
 	cc.AlgoThrifty, cc.AlgoDOLP, cc.AlgoDOLPUnified, cc.AlgoLP,
 }
 
+// BenchSchema identifies the BENCH_thrifty.json layout. v2 added the host
+// stamp (cpus, Go version, platform) and per-record phase breakdowns.
+const BenchSchema = "thriftylp/bench/v2"
+
 // BenchRecord is one (algorithm, dataset) measurement.
 type BenchRecord struct {
 	Algorithm   string  `json:"algorithm"`
@@ -56,17 +60,73 @@ type BenchRecord struct {
 	NsPerRun    int64   `json:"ns_per_run"`
 	EdgesPerSec float64 `json:"edges_per_sec"`
 	Reps        int     `json:"reps"`
+	// PushIterations/PullIterations decompose Iterations by direction, and
+	// PhaseNs breaks the (last timed) run's wall time down per iteration
+	// kind — both from the always-on RunStats, so recording them does not
+	// perturb the fast-path timing in NsPerRun.
+	PushIterations int              `json:"push_iterations"`
+	PullIterations int              `json:"pull_iterations"`
+	PhaseNs        map[string]int64 `json:"phase_ns,omitempty"`
 }
 
 // BenchReport is the full regression run, as serialized to
 // BENCH_thrifty.json.
 type BenchReport struct {
-	// GoMaxProcs records the parallelism the numbers were taken at; absolute
-	// throughput is machine-dependent, but the report is primarily read as a
-	// same-machine trajectory.
+	// Schema versions the file layout (see BenchSchema).
+	Schema string `json:"schema"`
+	// The host stamp: absolute throughput is machine-dependent, so the
+	// report is primarily read as a same-machine trajectory. HostMismatch
+	// flags comparisons across differing hosts.
 	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numcpu"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
 	Threads    int           `json:"threads"` // 0 = GOMAXPROCS pool
 	Records    []BenchRecord `json:"records"`
+}
+
+// HostMismatch compares the report's host stamp against a previous report and
+// returns a human-readable line per differing field (empty when comparable).
+// A perf delta measured across any mismatch is not a code regression signal.
+func (r BenchReport) HostMismatch(prev BenchReport) []string {
+	var out []string
+	diff := func(field string, old, new any) {
+		out = append(out, fmt.Sprintf("%s changed: %v -> %v", field, old, new))
+	}
+	if prev.GoMaxProcs != r.GoMaxProcs {
+		diff("gomaxprocs", prev.GoMaxProcs, r.GoMaxProcs)
+	}
+	if prev.NumCPU != r.NumCPU {
+		diff("numcpu", prev.NumCPU, r.NumCPU)
+	}
+	if prev.GoVersion != r.GoVersion {
+		diff("go version", prev.GoVersion, r.GoVersion)
+	}
+	if prev.GOOS != r.GOOS {
+		diff("goos", prev.GOOS, r.GOOS)
+	}
+	if prev.GOARCH != r.GOARCH {
+		diff("goarch", prev.GOARCH, r.GOARCH)
+	}
+	if prev.Threads != r.Threads {
+		diff("threads", prev.Threads, r.Threads)
+	}
+	return out
+}
+
+// ReadBenchReport loads a previously written BENCH JSON file. Reports written
+// before the schema stamp existed load with Schema == "".
+func ReadBenchReport(path string) (BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return BenchReport{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return rep, nil
 }
 
 // BenchRegression times every label-propagation algorithm, uninstrumented,
@@ -74,7 +134,15 @@ type BenchReport struct {
 // cell, minimum reported (the paper's convention for eliminating scheduler
 // noise, and the same discipline as TimeAlgorithm).
 func BenchRegression(cfg RunConfig) (BenchReport, error) {
-	rep := BenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Threads: cfg.Threads}
+	rep := BenchReport{
+		Schema:     BenchSchema,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Threads:    cfg.Threads,
+	}
 	for _, f := range RegressionFixtures() {
 		g, err := f.Build()
 		if err != nil {
@@ -85,19 +153,46 @@ func BenchRegression(cfg RunConfig) (BenchReport, error) {
 			if err != nil {
 				return BenchReport{}, fmt.Errorf("%s on %s: %w", a, f.Name, err)
 			}
-			rep.Records = append(rep.Records, BenchRecord{
-				Algorithm:   string(a),
-				Dataset:     f.Name,
-				Vertices:    g.NumVertices(),
-				Edges:       g.NumEdges(),
-				Iterations:  res.Iterations,
-				NsPerRun:    best.Nanoseconds(),
-				EdgesPerSec: float64(g.NumEdges()) / best.Seconds(),
-				Reps:        cfg.reps(),
-			})
+			rec := BenchRecord{
+				Algorithm:      string(a),
+				Dataset:        f.Name,
+				Vertices:       g.NumVertices(),
+				Edges:          g.NumEdges(),
+				Iterations:     res.Iterations,
+				NsPerRun:       best.Nanoseconds(),
+				EdgesPerSec:    float64(g.NumEdges()) / best.Seconds(),
+				Reps:           cfg.reps(),
+				PushIterations: res.PushIterations,
+				PullIterations: res.PullIterations,
+			}
+			if res.Stats != nil && len(res.Stats.PhaseDurations) > 0 {
+				rec.PhaseNs = make(map[string]int64, len(res.Stats.PhaseDurations))
+				for kind, d := range res.Stats.PhaseDurations {
+					rec.PhaseNs[kind] = d.Nanoseconds()
+				}
+			}
+			rep.Records = append(rep.Records, rec)
+			if cfg.Trace != nil {
+				// One extra instrumented run per cell, outside the timed
+				// loop: the counting path produces the iteration stream the
+				// trace needs, so it must never contribute to NsPerRun.
+				if err := traceCell(a, g, f.Name, cfg); err != nil {
+					return BenchReport{}, fmt.Errorf("tracing %s on %s: %w", a, f.Name, err)
+				}
+			}
 		}
 	}
 	return rep, nil
+}
+
+// traceCell runs one instrumented repetition and appends its per-iteration
+// records to cfg.Trace.
+func traceCell(a cc.Algorithm, g *graph.Graph, dataset string, cfg RunConfig) error {
+	inst := &cc.Instrumentation{}
+	if _, err := cc.RunContext(cfg.ctx(), a, g, cfg.opts(cc.WithInstrumentation(inst))...); err != nil {
+		return err
+	}
+	return cfg.Trace.WriteRun(string(a), dataset, 0, inst.Iterations)
 }
 
 // WriteJSON serializes the report to path, indented for reviewable diffs.

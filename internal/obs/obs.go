@@ -1,0 +1,207 @@
+// Package obs is the run-telemetry subsystem: a metrics registry served as
+// Prometheus text and expvar, a debug HTTP server (pprof, expvar, /metrics),
+// a stable JSONL encoding of per-iteration trace records, and log/slog
+// helpers for run lifecycle events.
+//
+// The package sits strictly outside the traversal hot paths. Everything it
+// publishes is derived from telemetry the kernels already collect at
+// iteration and partition boundaries (cc.RunStats, counters.Counters totals,
+// parallel scheduler stats); obs itself never injects per-edge work, so
+// observing a run does not change what is measured. The zero-cost boundary
+// rule is documented in DESIGN.md §10: per-edge events go through the
+// compile-time instrumentation policy seam (internal/core/instr.go),
+// boundary-granularity statistics are plain always-on code, and obs only
+// aggregates and exposes.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"thriftylp/cc"
+)
+
+// Registry is a process-wide set of named metrics: monotone int64 counters
+// and float64 gauges. It backs the /metrics endpoint and the "thriftylp"
+// expvar. All methods are safe for concurrent use; reads while runs are
+// publishing see a consistent per-metric snapshot.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*atomic.Int64
+	gauges   map[string]*atomic.Uint64 // float64 bits
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*atomic.Int64),
+		gauges:   make(map[string]*atomic.Uint64),
+	}
+}
+
+// counter returns the counter cell for name, creating it at zero.
+func (r *Registry) counter(name string) *atomic.Int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(atomic.Int64)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments counter name by delta (creating it at zero).
+func (r *Registry) Add(name string, delta int64) {
+	r.counter(name).Add(delta)
+}
+
+// Counter returns the current value of counter name (zero if absent).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// SetGauge sets gauge name to v.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	g := r.gauges[name]
+	if g == nil {
+		g = new(atomic.Uint64)
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	g.Store(math.Float64bits(v))
+}
+
+// Gauge returns the current value of gauge name (zero if absent).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.Load())
+}
+
+// Snapshot returns all metrics as a flat name → value map (counters as
+// int64, gauges as float64). Used by the expvar publication.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[string]any, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		m[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		m[name] = math.Float64frombits(g.Load())
+	}
+	return m
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, sorted by name so output is stable across scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type row struct {
+		name, typ, val string
+	}
+	rows := make([]row, 0, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		rows = append(rows, row{name, "counter", fmt.Sprintf("%d", c.Load())})
+	}
+	for name, g := range r.gauges {
+		rows = append(rows, row{name, "gauge",
+			strconv.FormatFloat(math.Float64frombits(g.Load()), 'g', -1, 64)})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, x := range rows {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", x.name, x.typ, x.name, x.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeHTTP serves the registry as a Prometheus-style /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}
+
+// sanitizeMetric maps an event/phase name onto the Prometheus metric-name
+// alphabet ("pull-frontier" → "pull_frontier").
+func sanitizeMetric(s string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			return c
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// Metric names published by ObserveRun. Event and phase metrics follow the
+// patterns thriftylp_events_<event>_total and thriftylp_phase_<kind>_seconds.
+const (
+	MetricRuns             = "thriftylp_runs_total"
+	MetricIterations       = "thriftylp_iterations_total"
+	MetricRunSeconds       = "thriftylp_run_duration_seconds"
+	MetricPartitionsOwned  = "thriftylp_sched_partitions_owned_total"
+	MetricPartitionsStolen = "thriftylp_sched_partitions_stolen_total"
+	MetricFailedSteals     = "thriftylp_sched_steal_failures_total"
+	MetricPoolJobs         = "thriftylp_pool_jobs_total"
+	MetricPoolIdleSeconds  = "thriftylp_pool_idle_seconds"
+)
+
+// EventMetric returns the counter name for a software event ("edges" →
+// "thriftylp_events_edges_total").
+func EventMetric(event string) string {
+	return "thriftylp_events_" + sanitizeMetric(event) + "_total"
+}
+
+// PhaseMetric returns the gauge name for a phase's cumulative wall time.
+func PhaseMetric(kind string) string {
+	return "thriftylp_phase_" + sanitizeMetric(kind) + "_seconds"
+}
+
+// ObserveRun folds one completed run's telemetry into the registry:
+// run/iteration counters, scheduler activity, per-phase wall time, and — for
+// instrumented runs — the software event totals (so /metrics reports exactly
+// the counters.Counters totals of the run). Call it after each run; counters
+// accumulate across runs, gauges reflect the latest.
+func (r *Registry) ObserveRun(res *cc.Result) {
+	if res == nil || res.Stats == nil {
+		return
+	}
+	st := res.Stats
+	r.Add(MetricRuns, 1)
+	r.Add(MetricIterations, int64(res.Iterations))
+	r.SetGauge(MetricRunSeconds, st.Duration.Seconds())
+	r.Add(MetricPartitionsOwned, st.Sched.PartitionsOwned)
+	r.Add(MetricPartitionsStolen, st.Sched.PartitionsStolen)
+	r.Add(MetricFailedSteals, st.Sched.FailedSteals)
+	r.Add(MetricPoolJobs, st.Sched.PoolJobs)
+	r.SetGauge(MetricPoolIdleSeconds, st.Sched.PoolIdle.Seconds())
+	for kind, d := range st.PhaseDurations {
+		r.SetGauge(PhaseMetric(kind), d.Seconds())
+	}
+	for event, n := range st.Events {
+		r.Add(EventMetric(event), n)
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"thriftylp/cc"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a_total", 2)
+	r.Add("a_total", 3)
+	r.SetGauge("g", 1.5)
+	r.SetGauge("g", 2.5)
+	if got := r.Counter("a_total"); got != 5 {
+		t.Errorf("Counter(a_total) = %d, want 5", got)
+	}
+	if got := r.Gauge("g"); got != 2.5 {
+		t.Errorf("Gauge(g) = %v, want 2.5", got)
+	}
+	if got := r.Counter("absent"); got != 0 {
+		t.Errorf("Counter(absent) = %d, want 0", got)
+	}
+	snap := r.Snapshot()
+	if snap["a_total"] != int64(5) || snap["g"] != 2.5 {
+		t.Errorf("Snapshot() = %v", snap)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Add("zz_total", 7)
+	r.SetGauge("aa_seconds", 0.25)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE aa_seconds gauge\naa_seconds 0.25\n# TYPE zz_total counter\nzz_total 7\n"
+	if buf.String() != want {
+		t.Errorf("WritePrometheus:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestObserveRun(t *testing.T) {
+	r := NewRegistry()
+	res := &cc.Result{
+		Iterations: 4,
+		Stats: &cc.RunStats{
+			Algorithm: cc.AlgoThrifty,
+			Duration:  125 * time.Millisecond,
+			PhaseDurations: map[string]time.Duration{
+				"pull": 100 * time.Millisecond,
+			},
+			Sched:  cc.SchedStats{PartitionsOwned: 90, PartitionsStolen: 6, FailedSteals: 11},
+			Events: map[string]int64{"edges": 1234, "cas-ops": 56},
+		},
+	}
+	r.ObserveRun(res)
+	r.ObserveRun(res)
+	if got := r.Counter(MetricRuns); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricRuns, got)
+	}
+	if got := r.Counter(MetricIterations); got != 8 {
+		t.Errorf("%s = %d, want 8", MetricIterations, got)
+	}
+	if got := r.Counter(MetricPartitionsStolen); got != 12 {
+		t.Errorf("%s = %d, want 12", MetricPartitionsStolen, got)
+	}
+	if got := r.Counter(EventMetric("edges")); got != 2468 {
+		t.Errorf("%s = %d, want 2468", EventMetric("edges"), got)
+	}
+	if got := r.Counter(EventMetric("cas-ops")); got != 112 {
+		t.Errorf("%s = %d, want 112 (name sanitized)", EventMetric("cas-ops"), got)
+	}
+	if got := r.Gauge(PhaseMetric("pull")); got != 0.1 {
+		t.Errorf("%s = %v, want 0.1", PhaseMetric("pull"), got)
+	}
+	// Nil-safe on hand-constructed results.
+	r.ObserveRun(&cc.Result{})
+	r.ObserveRun(nil)
+	if got := r.Counter(MetricRuns); got != 2 {
+		t.Errorf("%s = %d after nil-stats observes, want 2", MetricRuns, got)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tw, err := CreateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := []cc.IterationStats{
+		{Index: 0, Kind: "initial-push", Active: 1, ActiveEdges: 50, Changed: 50, Edges: 50, Threshold: 0.01, Duration: time.Millisecond},
+		{Index: 1, Kind: "pull", Active: 50, ActiveEdges: 400, Changed: 7, ConvergedZero: 93, Edges: 120, Density: 0.4, Threshold: 0.01, Duration: 2 * time.Millisecond},
+	}
+	if err := tw.WriteRun("thrifty", "rmat:10", 0, iters); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(iters) {
+		t.Fatalf("ReadTrace returned %d records, want %d", len(recs), len(iters))
+	}
+	for i, rec := range recs {
+		it := iters[i]
+		if rec.Schema != TraceSchema {
+			t.Errorf("rec %d schema = %q, want %q", i, rec.Schema, TraceSchema)
+		}
+		if rec.Algo != "thrifty" || rec.Dataset != "rmat:10" || rec.Run != 0 {
+			t.Errorf("rec %d identity = %q/%q/%d", i, rec.Algo, rec.Dataset, rec.Run)
+		}
+		if rec.Iter != it.Index || rec.Kind != it.Kind || rec.Active != it.Active ||
+			rec.ActiveEdges != it.ActiveEdges || rec.Changed != it.Changed ||
+			rec.Zero != it.ConvergedZero || rec.Edges != it.Edges ||
+			rec.Density != it.Density || rec.Threshold != it.Threshold ||
+			rec.DurationNs != it.Duration.Nanoseconds() {
+			t.Errorf("rec %d = %+v does not match iteration %+v", i, rec, it)
+		}
+	}
+}
+
+// TestTraceGoldenDecode pins the v1 wire format: a byte-for-byte golden line
+// must keep decoding, so readers of old trace files never break silently.
+func TestTraceGoldenDecode(t *testing.T) {
+	const golden = `{"schema":"thriftylp/trace/v1","algo":"thrifty","dataset":"rmat:14:8","run":0,"iter":1,"kind":"pull","active":2478,"active_edges":165661,"changed":8266,"zero":10730,"edges":8862,"density":0.7357801136015544,"threshold":0.01,"duration_ns":367905}`
+	recs, err := ReadTrace(strings.NewReader(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	want := TraceRecord{
+		Schema: TraceSchema, Algo: "thrifty", Dataset: "rmat:14:8",
+		Run: 0, Iter: 1, Kind: "pull", Active: 2478, ActiveEdges: 165661,
+		Changed: 8266, Zero: 10730, Edges: 8862,
+		Density: 0.7357801136015544, Threshold: 0.01, DurationNs: 367905,
+	}
+	if recs[0] != want {
+		t.Errorf("decoded %+v, want %+v", recs[0], want)
+	}
+}
+
+func TestReadTraceRejectsUnknownSchema(t *testing.T) {
+	_, err := ReadTrace(strings.NewReader(`{"schema":"thriftylp/trace/v999","iter":0}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown schema") {
+		t.Errorf("err = %v, want unknown-schema error", err)
+	}
+	_, err = ReadTrace(strings.NewReader(`{"iter":0}`))
+	if err == nil {
+		t.Errorf("missing schema accepted")
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(MetricRuns, 3)
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, MetricRuns+" 3") {
+		t.Errorf("/metrics: code %d body:\n%s", code, body)
+	}
+	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, "thriftylp") {
+		t.Errorf("/debug/vars: code %d body:\n%s", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("/: code %d body:\n%s", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope: code %d, want 404", code)
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar name: expvar.Publish panics
+// on duplicates, and tests may start several servers in one process.
+var publishOnce sync.Once
+
+// Server is the optional debug HTTP server behind the CLIs' -http flag. It
+// serves:
+//
+//	/metrics            Prometheus text format, fed from the run Registry
+//	/debug/vars         expvar JSON (includes the registry as "thriftylp")
+//	/debug/pprof/*      the standard runtime profiles
+//	/                   a plain-text index of the endpoints
+//
+// The server runs on its own goroutine and its own mux, so importing
+// net/http/pprof here does not expose profiles on any application mux.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	reg *Registry
+}
+
+// Serve binds addr (host:port; ":0" picks a free port) and starts the debug
+// server. It returns once the listener is bound, so Addr/URL are immediately
+// valid. log, when non-nil, receives a startup event and any serve error.
+func Serve(addr string, reg *Registry, log *slog.Logger) (*Server, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("thriftylp", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "thriftylp debug server")
+		fmt.Fprintln(w, "  /metrics        Prometheus text metrics")
+		fmt.Fprintln(w, "  /debug/vars     expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof/   runtime profiles")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, reg: reg}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed && log != nil {
+			log.Error("debug server stopped", "err", err)
+		}
+	}()
+	if log != nil {
+		log.Info("debug server listening", "url", s.URL())
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolved, so ":0" shows the port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Registry returns the registry the server publishes.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close stops the server immediately (in-flight requests are aborted; the
+// debug server has no graceful-drain requirement).
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"thriftylp/cc"
+)
+
+// TraceSchema identifies the JSONL trace record layout. Every record carries
+// it, so a consumer can reject files written by a future incompatible
+// version instead of misreading them. Additive field changes keep the same
+// schema id; renames/semantic changes bump it.
+const TraceSchema = "thriftylp/trace/v1"
+
+// TraceRecord is one per-iteration telemetry row as serialized to the -trace
+// JSONL artifact. It is the stable external form of cc.IterationStats plus
+// run identity, and it carries the *why* of the direction decision: the
+// frontier size (active/active_edges), the density it implied, and the
+// threshold the density was compared against.
+type TraceRecord struct {
+	Schema  string `json:"schema"`
+	Algo    string `json:"algo"`
+	Dataset string `json:"dataset,omitempty"`
+	// Run distinguishes repetitions when one invocation traces several runs
+	// (e.g. thriftycc -reps 3 emits runs 0, 1, 2).
+	Run  int `json:"run"`
+	Iter int `json:"iter"`
+	// Kind is the traversal direction chosen: "pull", "push",
+	// "pull-frontier" or "initial-push".
+	Kind        string  `json:"kind"`
+	Active      int64   `json:"active"`
+	ActiveEdges int64   `json:"active_edges"`
+	Changed     int64   `json:"changed"`
+	Zero        int64   `json:"zero"`
+	Edges       int64   `json:"edges"`
+	Density     float64 `json:"density"`
+	Threshold   float64 `json:"threshold"`
+	DurationNs  int64   `json:"duration_ns"`
+}
+
+// traceFromIteration converts one iteration's stats to its external form.
+func traceFromIteration(algo, dataset string, run int, it cc.IterationStats) TraceRecord {
+	return TraceRecord{
+		Schema:      TraceSchema,
+		Algo:        algo,
+		Dataset:     dataset,
+		Run:         run,
+		Iter:        it.Index,
+		Kind:        it.Kind,
+		Active:      it.Active,
+		ActiveEdges: it.ActiveEdges,
+		Changed:     it.Changed,
+		Zero:        it.ConvergedZero,
+		Edges:       it.Edges,
+		Density:     it.Density,
+		Threshold:   it.Threshold,
+		DurationNs:  it.Duration.Nanoseconds(),
+	}
+}
+
+// TraceWriter streams TraceRecords as JSONL (one record per line). Writes
+// are serialized, so several runs may append concurrently.
+type TraceWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	closer io.Closer
+}
+
+// NewTraceWriter wraps w in a buffered JSONL encoder. Close flushes; it does
+// not close w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	return &TraceWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// CreateTrace creates (truncating) the JSONL trace file at path. Close
+// flushes and closes the file.
+func CreateTrace(path string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating trace file: %w", err)
+	}
+	t := NewTraceWriter(f)
+	t.closer = f
+	return t, nil
+}
+
+// Write appends one record. The record's Schema field is stamped if empty.
+func (t *TraceWriter) Write(rec TraceRecord) error {
+	if rec.Schema == "" {
+		rec.Schema = TraceSchema
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enc.Encode(rec) // Encode appends the newline
+}
+
+// WriteRun appends every iteration of one run, in execution order.
+func (t *TraceWriter) WriteRun(algo, dataset string, run int, iters []cc.IterationStats) error {
+	for _, it := range iters {
+		if err := t.Write(traceFromIteration(algo, dataset, run, it)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes buffered records and closes the underlying file when the
+// writer owns one.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.bw.Flush()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadTrace decodes a JSONL trace stream, rejecting records whose schema id
+// is missing or unknown (line numbers are 1-based in errors).
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	dec := json.NewDecoder(r)
+	var recs []TraceRecord
+	for line := 1; ; line++ {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return recs, nil
+		} else if err != nil {
+			return recs, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if rec.Schema != TraceSchema {
+			return recs, fmt.Errorf("obs: trace line %d: unknown schema %q (want %q)", line, rec.Schema, TraceSchema)
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is returned by Run when the pool has been closed.
@@ -61,6 +63,31 @@ func (e *PanicError) Unwrap() error {
 	return nil
 }
 
+// PoolStats aggregates worker activity over a pool's lifetime. For per-run
+// numbers on a shared pool, snapshot before and after the run and Sub the
+// two (cc.RunContext does exactly this).
+type PoolStats struct {
+	// JobsRun counts job invocations summed over all workers (one Run call
+	// on an N-thread pool contributes N).
+	JobsRun int64
+	// Idle is the summed wall time workers spent parked waiting for the
+	// next job — the load-imbalance + scheduling-gap signal. It is measured
+	// at job boundaries only and excludes workers currently parked (their
+	// in-flight wait is charged when they wake).
+	Idle time.Duration
+}
+
+// Sub returns the component-wise difference s - prev, for per-run deltas.
+func (s PoolStats) Sub(prev PoolStats) PoolStats {
+	return PoolStats{JobsRun: s.JobsRun - prev.JobsRun, Idle: s.Idle - prev.Idle}
+}
+
+// workerSlot is one worker's stats block, padded to its own cache line.
+type workerSlot struct {
+	jobs, idleNanos int64
+	_               [6]int64
+}
+
 // poolState is the shared master/worker state. It is split from Pool so the
 // worker goroutines hold only the inner state: a finalizer on the outer Pool
 // handle can then run once the handle is unreachable (the workers would
@@ -76,6 +103,7 @@ type poolState struct {
 	active  int    // workers still running the current job
 	closed  bool
 	pnc     *PanicError // first panic recovered during the current job
+	wstats  []workerSlot
 }
 
 // Pool is a master-worker pool of persistent goroutines. A Pool is created
@@ -93,7 +121,7 @@ func NewPool(threads int) *Pool {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	s := &poolState{threads: threads}
+	s := &poolState{threads: threads, wstats: make([]workerSlot, threads)}
 	s.work = sync.NewCond(&s.mu)
 	s.done = sync.NewCond(&s.mu)
 	for t := 0; t < threads; t++ {
@@ -131,7 +159,13 @@ func (s *poolState) worker(tid int) {
 	var seen uint64
 	for {
 		s.mu.Lock()
+		// Idle accounting happens at the job boundary only: one timestamp
+		// before parking and one after waking, never inside a job.
+		var idleStart time.Time
 		for s.gen == seen && !s.closed {
+			if idleStart.IsZero() {
+				idleStart = time.Now()
+			}
 			s.work.Wait()
 		}
 		if s.closed {
@@ -141,6 +175,11 @@ func (s *poolState) worker(tid int) {
 		seen = s.gen
 		job := s.job
 		s.mu.Unlock()
+		ws := &s.wstats[tid]
+		if !idleStart.IsZero() {
+			atomic.AddInt64(&ws.idleNanos, int64(time.Since(idleStart)))
+		}
+		atomic.AddInt64(&ws.jobs, 1)
 
 		pe := runJob(job, tid)
 
@@ -178,6 +217,7 @@ func (p *Pool) Run(job func(tid int)) error {
 		if closed {
 			return ErrClosed
 		}
+		atomic.AddInt64(&s.wstats[0].jobs, 1)
 		if pe := runJob(job, 0); pe != nil {
 			return pe
 		}
@@ -214,6 +254,20 @@ func (p *Pool) MustRun(job func(tid int)) {
 	if err := p.Run(job); err != nil {
 		panic(err)
 	}
+}
+
+// Stats returns the pool's accumulated worker counters. It reads atomically
+// and may be called at any time, including while a job is in flight; counts
+// update at job boundaries only.
+func (p *Pool) Stats() PoolStats {
+	var st PoolStats
+	var idle int64
+	for i := range p.s.wstats {
+		st.JobsRun += atomic.LoadInt64(&p.s.wstats[i].jobs)
+		idle += atomic.LoadInt64(&p.s.wstats[i].idleNanos)
+	}
+	st.Idle = time.Duration(idle)
+	return st
 }
 
 // Close shuts the worker goroutines down. The pool must be idle (no Run in

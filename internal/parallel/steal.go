@@ -2,6 +2,30 @@ package parallel
 
 import "sync/atomic"
 
+// StealStats aggregates a Stealer's partition-scheduling activity: how many
+// partitions each thread ran from its own block versus took from another
+// thread's, and how many steal-scan claim attempts lost the race. Counts
+// accumulate across Reset/Run cycles for the life of the Stealer, so for a
+// per-run Stealer they describe that whole run. The owned/stolen split is the
+// load-balance signal the paper's §V-A discipline is designed around: a
+// healthy skewed-graph run steals a small but non-zero fraction.
+type StealStats struct {
+	// Owned counts partitions a thread claimed from its own block.
+	Owned int64
+	// Stolen counts partitions a thread claimed from another thread's block.
+	Stolen int64
+	// FailedSteals counts claim attempts during steal scans that found the
+	// partition already taken (including losing the CAS itself).
+	FailedSteals int64
+}
+
+// stealSlot is one thread's stats block, padded to its own cache line so
+// flushes from different workers do not false-share.
+type stealSlot struct {
+	owned, stolen, failed int64
+	_                     [5]int64
+}
+
 // Stealer schedules a fixed slice of partitions over the threads of a Pool
 // with the paper's stealing discipline (§V-A): thread t owns the contiguous
 // block of partitions [m·t, m·(t+1)) where m = len(parts)/threads; it
@@ -16,6 +40,7 @@ type Stealer struct {
 	parts   []Range
 	claimed []int32
 	threads int
+	stats   []stealSlot
 }
 
 // NewStealer prepares a scheduling of parts over the given thread count.
@@ -27,7 +52,22 @@ func NewStealer(parts []Range, threads int) *Stealer {
 		parts:   parts,
 		claimed: make([]int32, len(parts)),
 		threads: threads,
+		stats:   make([]stealSlot, threads),
 	}
+}
+
+// Stats returns the accumulated scheduling counters summed over all threads.
+// Counters are flushed once per Work call (a partition boundary, never
+// per-edge), so Stats read concurrently with a running sweep may miss the
+// in-flight Work calls' contributions; after Run returns it is exact.
+func (s *Stealer) Stats() StealStats {
+	var st StealStats
+	for i := range s.stats {
+		st.Owned += atomic.LoadInt64(&s.stats[i].owned)
+		st.Stolen += atomic.LoadInt64(&s.stats[i].stolen)
+		st.FailedSteals += atomic.LoadInt64(&s.stats[i].failed)
+	}
+	return st
 }
 
 // Reset makes all partitions claimable again, allowing the Stealer to be
@@ -55,9 +95,13 @@ func (s *Stealer) tryClaim(i int) bool {
 // partition remains: first the thread's own block ascending, then the other
 // threads' blocks (in ring order starting after tid) descending.
 func (s *Stealer) Work(tid int, fn func(p Range)) {
+	// Scheduling counters accumulate in locals and flush once at the end of
+	// the Work call: zero per-edge work, one counter block write per sweep.
+	var owned, stolen, failed int64
 	lo, hi := s.block(tid)
 	for i := lo; i < hi; i++ {
 		if s.tryClaim(i) {
+			owned++
 			fn(s.parts[i])
 		}
 	}
@@ -68,9 +112,18 @@ func (s *Stealer) Work(tid int, fn func(p Range)) {
 		vlo, vhi := s.block(v)
 		for i := vhi - 1; i >= vlo; i-- {
 			if s.tryClaim(i) {
+				stolen++
 				fn(s.parts[i])
+			} else {
+				failed++
 			}
 		}
+	}
+	if owned|stolen|failed != 0 {
+		st := &s.stats[tid%len(s.stats)]
+		atomic.AddInt64(&st.owned, owned)
+		atomic.AddInt64(&st.stolen, stolen)
+		atomic.AddInt64(&st.failed, failed)
 	}
 }
 

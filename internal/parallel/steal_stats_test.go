@@ -1,0 +1,88 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStealerStatsAccounting checks the scheduling counters' core invariant:
+// every partition is claimed exactly once, either as owned or as stolen, so
+// Owned+Stolen equals the partition count per sweep. Thread 0 is made
+// artificially slow so the other threads drain their own blocks and are
+// forced to steal from it.
+func TestStealerStatsAccounting(t *testing.T) {
+	const threads, nparts, sweeps = 4, 64, 2
+
+	pool := NewPool(threads)
+	defer pool.Close()
+
+	parts := make([]Range, nparts)
+	for i := range parts {
+		parts[i] = Range{Lo: uint32(i), Hi: uint32(i + 1)}
+	}
+	s := NewStealer(parts, threads)
+
+	hits := make([]int64, nparts)
+	for sweep := 0; sweep < sweeps; sweep++ {
+		s.Run(pool, func(tid int, p Range) {
+			if tid == 0 {
+				time.Sleep(2 * time.Millisecond) // slow owner: its block gets raided
+			}
+			atomic.AddInt64(&hits[p.Lo], 1)
+		})
+	}
+
+	for i, h := range hits {
+		if h != sweeps {
+			t.Errorf("partition %d processed %d times, want %d", i, h, sweeps)
+		}
+	}
+
+	st := s.Stats()
+	if got, want := st.Owned+st.Stolen, int64(sweeps*nparts); got != want {
+		t.Errorf("Owned+Stolen = %d+%d = %d, want %d (counts accumulate across sweeps)",
+			st.Owned, st.Stolen, got, want)
+	}
+	if st.Stolen == 0 {
+		t.Errorf("Stolen = 0: fast threads never stole from the slow owner's block")
+	}
+	if st.FailedSteals < 0 {
+		t.Errorf("FailedSteals = %d, want >= 0", st.FailedSteals)
+	}
+}
+
+// TestStealerStatsSingleThread: with one thread everything is owned and
+// nothing can be stolen.
+func TestStealerStatsSingleThread(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+
+	parts := []Range{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}, {Lo: 2, Hi: 3}}
+	s := NewStealer(parts, 1)
+	s.Run(pool, func(tid int, p Range) {})
+
+	st := s.Stats()
+	if st.Owned != int64(len(parts)) || st.Stolen != 0 || st.FailedSteals != 0 {
+		t.Errorf("Stats() = %+v, want Owned=%d Stolen=0 FailedSteals=0", st, len(parts))
+	}
+}
+
+// TestPoolStatsDelta checks the before/after snapshot discipline cc uses for
+// per-run pool attribution: JobsRun grows by exactly threads per Run call.
+func TestPoolStatsDelta(t *testing.T) {
+	const threads = 3
+	pool := NewPool(threads)
+	defer pool.Close()
+
+	before := pool.Stats()
+	pool.MustRun(func(tid int) {})
+	pool.MustRun(func(tid int) {})
+	d := pool.Stats().Sub(before)
+	if d.JobsRun != 2*threads {
+		t.Errorf("JobsRun delta = %d, want %d", d.JobsRun, 2*threads)
+	}
+	if d.Idle < 0 {
+		t.Errorf("Idle delta = %v, want >= 0", d.Idle)
+	}
+}
