@@ -23,10 +23,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Refresh the machine-readable perf-regression record (uninstrumented
-# fast-path timings on the fixed medium-scale fixtures; min of 5 reps).
+# Refresh the machine-readable perf-regression records: kernel timings
+# (uninstrumented fast path, fixed medium-scale fixtures, min of 5 reps) in
+# BENCH_thrifty.json, and ingestion timings (parallel zero-copy pipeline vs
+# the frozen sequential baseline) in BENCH_ingest.json.
 bench-json:
-	$(GO) run ./cmd/ccbench -json BENCH_thrifty.json -reps 5
+	$(GO) run ./cmd/ccbench -ingest-json BENCH_ingest.json -json BENCH_thrifty.json -reps 5
 
 # Cross-validate every algorithm against the sequential oracle.
 verify:

@@ -16,6 +16,7 @@ package cc
 import (
 	"time"
 
+	"thriftylp/graph"
 	"thriftylp/internal/core"
 	"thriftylp/internal/parallel"
 )
@@ -99,6 +100,7 @@ type options struct {
 	inst    *Instrumentation
 	pool    *parallel.Pool
 	ownPool bool
+	ingest  *graph.IngestStats
 }
 
 // Option configures a run.
@@ -133,6 +135,14 @@ func WithMaxIterations(n int) Option {
 // combine with wall-time measurements you intend to report.
 func WithInstrumentation(inst *Instrumentation) Option {
 	return func(o *options) { o.inst = inst }
+}
+
+// WithIngestStats attaches ingestion-phase timings (as reported by
+// graph.Ingest) to the run's RunStats, so one record carries the full
+// load→build→solve story. The stats are carried through verbatim; the run
+// itself is unaffected.
+func WithIngestStats(st graph.IngestStats) Option {
+	return func(o *options) { o.ingest = &st }
 }
 
 // WithPlantVertex overrides Thrifty's Zero Planting heuristic: the 0 label

@@ -210,6 +210,7 @@ func RunContext(ctx context.Context, a Algorithm, g *graph.Graph, opts ...Option
 		Algorithm:      a,
 		Duration:       time.Since(start),
 		PhaseDurations: cres.PhaseDurations,
+		Ingest:         o.ingest,
 	}
 	poolDelta := statsPool.Stats().Sub(poolBefore)
 	stats.Sched = SchedStats{

@@ -1,6 +1,10 @@
 package cc
 
-import "time"
+import (
+	"time"
+
+	"thriftylp/graph"
+)
 
 // SchedStats summarizes the runtime-scheduler activity of one run. All of it
 // is collected at partition and job boundaries — never per edge — so it is
@@ -45,6 +49,9 @@ type RunStats struct {
 	// Instrumentation.Events). Nil unless the run was instrumented: event
 	// counting requires the kernels' counting path.
 	Events map[string]int64
+	// Ingest carries the load/build timings of the graph the run consumed.
+	// Nil unless the caller supplied them via WithIngestStats.
+	Ingest *graph.IngestStats
 }
 
 // PhaseDuration returns the summed wall time of one iteration kind, zero if

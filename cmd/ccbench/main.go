@@ -16,6 +16,14 @@
 // file — `make bench-json` uses this to refresh BENCH_thrifty.json:
 //
 //	ccbench -json BENCH_thrifty.json -reps 5
+//
+// With -ingest-json, ccbench additionally (or alone) runs the ingestion
+// regression suite — text edge-list parse+build and binary CSR load, frozen
+// sequential baseline vs the parallel zero-copy pipeline — and writes
+// machine-readable results to the given file — `make bench-json` uses this
+// to refresh BENCH_ingest.json:
+//
+//	ccbench -ingest-json BENCH_ingest.json -reps 5
 package main
 
 import (
@@ -40,6 +48,7 @@ func main() {
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		csvPath = flag.String("csv", "", "also append results as CSV to this file")
 		jsonOut = flag.String("json", "", "run the perf-regression suite and write JSON results to this file")
+		ingOut  = flag.String("ingest-json", "", "run the ingestion regression suite and write JSON results to this file")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		trace   = flag.String("trace", "", "with -json: write per-iteration trace records of one instrumented run per cell to this JSONL file")
@@ -81,6 +90,29 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("debug server listening on %s\n", srv.URL())
+	}
+
+	if *ingOut != "" {
+		prev, prevErr := harness.ReadIngestReport(*ingOut)
+		start := time.Now()
+		rep, err := harness.IngestRegression(cfg)
+		if err != nil {
+			fatalf("ingest regression: %v", err)
+		}
+		if err := rep.WriteJSON(*ingOut); err != nil {
+			fatalf("writing %s: %v", *ingOut, err)
+		}
+		if prevErr == nil {
+			for _, line := range rep.HostMismatch(prev) {
+				fmt.Fprintf(os.Stderr, "ccbench: warning: host mismatch vs previous %s: %s\n", *ingOut, line)
+			}
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("(ingestion suite completed in %v, wrote %s)\n",
+			time.Since(start).Round(time.Millisecond), *ingOut)
+		if *jsonOut == "" {
+			return
+		}
 	}
 
 	if *jsonOut != "" {

@@ -54,7 +54,14 @@ func main() {
 	}
 
 	if *in != "" {
-		g, err := graph.Load(*in)
+		g, ist, err := graph.Ingest(*in)
+		if err == nil {
+			fmt.Printf("ingest: %s, %.1f MB in %.3f ms (load %.3f + build %.3f)\n",
+				ist.Format, float64(ist.Bytes)/1e6,
+				float64(ist.Total().Nanoseconds())/1e6,
+				float64(ist.LoadDuration.Nanoseconds())/1e6,
+				float64(ist.BuildDuration.Nanoseconds())/1e6)
+		}
 		add(*in, g, err)
 	} else {
 		for s := 0; s < *seeds; s++ {

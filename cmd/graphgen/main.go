@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"thriftylp/graph"
 	"thriftylp/graph/gen"
@@ -43,10 +44,12 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	start := time.Now()
 	if err := writeGraph(*out, g); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("wrote %s: %s\n", *out, summarize(g))
+	fmt.Printf("wrote %s: %s (in %.3f ms)\n", *out, summarize(g),
+		float64(time.Since(start).Nanoseconds())/1e6)
 }
 
 // summarize renders the generation summary: size, max degree and the

@@ -99,12 +99,25 @@ func main() {
 		env.trace = tw
 	}
 
-	g, err := loadGraph(*in, *genSpec, *seed)
+	g, ist, err := loadGraph(*in, *genSpec, *seed)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("graph: %d vertices, %d edges (max degree %d)\n",
 		g.NumVertices(), g.NumEdges(), g.Degree(g.MaxDegreeVertex()))
+	if ist != nil {
+		fmt.Printf("ingest: %s, %.1f MB in %.3f ms (load %.3f + build %.3f)\n",
+			ist.Format, float64(ist.Bytes)/1e6,
+			float64(ist.Total().Nanoseconds())/1e6,
+			float64(ist.LoadDuration.Nanoseconds())/1e6,
+			float64(ist.BuildDuration.Nanoseconds())/1e6)
+		if env.trace != nil {
+			if err := env.trace.WriteIngest(env.dataset,
+				ist.LoadDuration.Nanoseconds(), ist.BuildDuration.Nanoseconds()); err != nil {
+				fatalf("writing trace: %v", err)
+			}
+		}
+	}
 
 	if *stat {
 		printStats(g)
@@ -116,7 +129,7 @@ func main() {
 	}
 
 	for _, a := range algos {
-		if err := runOne(ctx, a, g, *reps, *threads, *verify, *inst, env); err != nil {
+		if err := runOne(ctx, a, g, ist, *reps, *threads, *verify, *inst, env); err != nil {
 			var ce *cc.CanceledError
 			if errors.As(err, &ce) {
 				if errors.Is(err, context.DeadlineExceeded) {
@@ -158,10 +171,13 @@ func algoNames() string {
 	return strings.Join(names, ", ")
 }
 
-func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, reps, threads int, verify, instrument bool, env *runEnv) error {
+func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, ist *graph.IngestStats, reps, threads int, verify, instrument bool, env *runEnv) error {
 	var opts []cc.Option
 	if threads > 0 {
 		opts = append(opts, cc.WithThreads(threads))
+	}
+	if ist != nil {
+		opts = append(opts, cc.WithIngestStats(*ist))
 	}
 	var instData *cc.Instrumentation
 	// Tracing needs the per-iteration record stream, which only the
@@ -241,10 +257,22 @@ func printStats(g *graph.Graph) {
 		census.NumComponents, 100*census.LargestFraction)
 }
 
-func loadGraph(in, spec string, seed uint64) (*graph.Graph, error) {
+// loadGraph resolves -in/-gen to a graph. File inputs go through the
+// measured ingestion pipeline and return its stats; generated graphs have no
+// ingestion phase and return nil stats.
+func loadGraph(in, spec string, seed uint64) (*graph.Graph, *graph.IngestStats, error) {
 	if in != "" {
-		return graph.Load(in)
+		g, st, err := graph.Ingest(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, &st, nil
 	}
+	g, err := genGraph(spec, seed)
+	return g, nil, err
+}
+
+func genGraph(spec string, seed uint64) (*graph.Graph, error) {
 	if spec == "" {
 		return nil, fmt.Errorf("need -in or -gen")
 	}

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"thriftylp/internal/parallel"
@@ -22,6 +22,8 @@ type buildConfig struct {
 	dedup       bool
 	dropLoops   bool
 	sortAdj     bool
+	legacyBuild bool
+	pool        *parallel.Pool
 }
 
 // WithNumVertices fixes the vertex count instead of inferring max-id+1.
@@ -46,18 +48,84 @@ func WithSortedAdjacency() BuildOption {
 	return func(c *buildConfig) { c.sortAdj = true }
 }
 
+// WithLegacyBuild forces the original atomic-cursor construction strategy.
+// It needs no per-thread histograms, so it is the memory-frugal fallback for
+// extreme vertex-to-edge ratios, and it serves as the frozen denominator in
+// the ingestion benchmark suite (internal/harness measures the atomic-free
+// pipeline against it).
+func WithLegacyBuild() BuildOption {
+	return func(c *buildConfig) { c.legacyBuild = true }
+}
+
+// WithBuildPool runs construction on the given worker pool instead of the
+// process-wide default. The caller keeps ownership of the pool.
+func WithBuildPool(p *parallel.Pool) BuildOption {
+	return func(c *buildConfig) { c.pool = p }
+}
+
+// parallelBuildCutoff is the edge count below which the sequential counting
+// sort wins over any parallel strategy (fork/join overhead dominates).
+const parallelBuildCutoff = 1 << 15
+
 // BuildUndirected constructs a CSR graph from an edge list. Each edge {U,V}
 // with U≠V occupies two adjacency slots (U→V and V→U); a self-loop occupies
-// one. Construction is parallel: degrees are counted with atomic adds and
-// slots filled through per-vertex atomic cursors, partitioned over the
-// default worker pool.
+// one.
+//
+// Construction is parallel and atomic-free on the hot path: each worker
+// counts degrees of a contiguous edge shard into a private histogram, the
+// histograms are merged per vertex range into exclusive per-thread write
+// cursors, the offsets array is produced by a parallel blocked prefix sum,
+// and each worker scatters its own shard through its private cursors. The
+// resulting adjacency layout is deterministic — identical to a sequential
+// counting sort of the edge list — regardless of thread count. When the
+// histograms would not pay for themselves (tiny inputs, single-thread pools,
+// or pathological vertex-to-edge ratios) construction falls back to a
+// sequential counting sort or to the legacy atomic-cursor strategy.
 func BuildUndirected(edges []Edge, opts ...BuildOption) (*Graph, error) {
 	var cfg buildConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pool := parallel.Default()
+	pool := cfg.pool
+	if pool == nil {
+		pool = parallel.Default()
+	}
 
+	n, err := resolveVertexCount(edges, &cfg, pool)
+	if err != nil {
+		return nil, err
+	}
+
+	var offsets []int64
+	var adj []uint32
+	switch {
+	case cfg.legacyBuild:
+		offsets, adj = buildCSRAtomic(edges, n, cfg.dropLoops, pool)
+	case pool.Threads() == 1 || len(edges) < parallelBuildCutoff:
+		offsets, adj = buildCSRSerial(edges, n, cfg.dropLoops)
+	case !histogramFits(pool.Threads(), n, len(edges)):
+		offsets, adj = buildCSRAtomic(edges, n, cfg.dropLoops, pool)
+	default:
+		offsets, adj = buildCSRHistogram(edges, n, cfg.dropLoops, pool)
+	}
+
+	g := &Graph{offsets: offsets, adj: adj}
+	if cfg.sortAdj || cfg.dedup {
+		sortAdjacency(g, pool)
+	}
+	if cfg.dedup {
+		g = dedupCSR(g, pool)
+	}
+	if g.NumVertices() > 0 {
+		g.computeMaxDegree(pool)
+	}
+	return g, nil
+}
+
+// resolveVertexCount returns the vertex count for the edge list: the
+// configured count (validating every edge against it) or the inferred
+// max-id+1.
+func resolveVertexCount(edges []Edge, cfg *buildConfig, pool *parallel.Pool) (int, error) {
 	n := cfg.numVertices
 	if n == 0 {
 		var maxID int64 = -1
@@ -79,26 +147,141 @@ func BuildUndirected(edges []Edge, opts ...BuildOption) (*Graph, error) {
 			}
 		})
 		if maxID >= int64(maxVertexID) {
-			return nil, fmt.Errorf("graph: vertex id %d is reserved (id space is [0,%d))", maxID, maxVertexID)
+			return 0, fmt.Errorf("graph: vertex id %d is reserved (id space is [0,%d))", maxID, maxVertexID)
 		}
-		n = int(maxID + 1)
-	} else {
-		if int64(n) > int64(maxVertexID) {
-			return nil, fmt.Errorf("graph: %d vertices exceeds the id space [0,%d)", n, maxVertexID)
-		}
-		for _, e := range edges {
-			if int(e.U) >= n || int(e.V) >= n {
-				return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", e.U, e.V, n)
-			}
-		}
+		return int(maxID + 1), nil
 	}
+	if int64(n) > int64(maxVertexID) {
+		return 0, fmt.Errorf("graph: %d vertices exceeds the id space [0,%d)", n, maxVertexID)
+	}
+	if i := firstViolation(pool, len(edges), func(i int) bool {
+		return int(edges[i].U) >= n || int(edges[i].V) >= n
+	}); i >= 0 {
+		return 0, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", edges[i].U, edges[i].V, n)
+	}
+	return n, nil
+}
 
-	// Pass 1: degree counting.
+// histogramFits reports whether the per-thread histogram strategy is safe
+// and worthwhile: per-vertex cursors must fit int32 (guaranteed when the
+// total directed slot count stays below 2^31), and threads×n histogram
+// memory must stay within a small multiple of the edge array itself.
+func histogramFits(threads, n, m int) bool {
+	if int64(m) >= 1<<30 {
+		return false
+	}
+	return int64(threads)*int64(n) <= 8*int64(m)+(1<<20)
+}
+
+// buildCSRSerial is a plain sequential counting sort — the layout reference
+// for the deterministic parallel strategy, and the fastest path for small
+// inputs.
+func buildCSRSerial(edges []Edge, n int, dropLoops bool) ([]int64, []uint32) {
+	offsets := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			if !dropLoops {
+				offsets[e.U+1]++
+			}
+			continue
+		}
+		offsets[e.U+1]++
+		offsets[e.V+1]++
+	}
+	for v := 1; v <= n; v++ {
+		offsets[v] += offsets[v-1]
+	}
+	adj := make([]uint32, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		if e.U == e.V {
+			if !dropLoops {
+				adj[cursor[e.U]] = e.V
+				cursor[e.U]++
+			}
+			continue
+		}
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	return offsets, adj
+}
+
+// buildCSRHistogram is the atomic-free parallel strategy. Edge shards are
+// static and contiguous, so thread t's writes into any vertex's slot list
+// come after all writes from threads < t and preserve shard-internal edge
+// order — the layout is bit-identical to buildCSRSerial.
+func buildCSRHistogram(edges []Edge, n int, dropLoops bool, pool *parallel.Pool) ([]int64, []uint32) {
+	threads := pool.Threads()
+	parts := parallel.PartitionVertices(len(edges), threads)
+	hist := make([][]int32, threads)
+
+	// Pass 1: private degree histograms, one contiguous edge shard each.
+	pool.MustRun(func(tid int) {
+		h := make([]int32, n)
+		for _, e := range edges[parts[tid].Lo:parts[tid].Hi] {
+			if e.U == e.V {
+				if !dropLoops {
+					h[e.U]++
+				}
+				continue
+			}
+			h[e.U]++
+			h[e.V]++
+		}
+		hist[tid] = h
+	})
+
+	// Merge by vertex range: hist[t][v] becomes thread t's exclusive write
+	// cursor within v's slot list, offsets[v+1] the total degree.
+	offsets := make([]int64, n+1)
+	parallel.For(pool, n, 1<<14, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var run int32
+			for t := 0; t < threads; t++ {
+				c := hist[t][v]
+				hist[t][v] = run
+				run += c
+			}
+			offsets[v+1] = int64(run)
+		}
+	})
+	parallel.PrefixSum(pool, offsets)
+
+	// Pass 2: scatter through private cursors — no atomics, no sharing.
+	adj := make([]uint32, offsets[n])
+	pool.MustRun(func(tid int) {
+		h := hist[tid]
+		for _, e := range edges[parts[tid].Lo:parts[tid].Hi] {
+			if e.U == e.V {
+				if !dropLoops {
+					adj[offsets[e.U]+int64(h[e.U])] = e.V
+					h[e.U]++
+				}
+				continue
+			}
+			adj[offsets[e.U]+int64(h[e.U])] = e.V
+			h[e.U]++
+			adj[offsets[e.V]+int64(h[e.V])] = e.U
+			h[e.V]++
+		}
+	})
+	return offsets, adj
+}
+
+// buildCSRAtomic is the original strategy: degrees counted with atomic adds
+// and slots filled through per-vertex atomic cursors. Slot order within a
+// vertex is scheduling-dependent; memory overhead is one int64 cursor per
+// vertex regardless of thread count.
+func buildCSRAtomic(edges []Edge, n int, dropLoops bool, pool *parallel.Pool) ([]int64, []uint32) {
 	deg := make([]int64, n+1) // deg[v+1] accumulates v's slot count
 	parallel.For(pool, len(edges), 1<<16, func(_, lo, hi int) {
 		for _, e := range edges[lo:hi] {
 			if e.U == e.V {
-				if !cfg.dropLoops {
+				if !dropLoops {
 					atomic.AddInt64(&deg[e.U+1], 1)
 				}
 				continue
@@ -108,14 +291,10 @@ func BuildUndirected(edges []Edge, opts ...BuildOption) (*Graph, error) {
 		}
 	})
 
-	// Prefix sum → offsets.
 	offsets := deg
-	for v := 1; v <= n; v++ {
-		offsets[v] += offsets[v-1]
-	}
+	parallel.PrefixSum(pool, offsets)
 	adj := make([]uint32, offsets[n])
 
-	// Pass 2: slot filling through atomic per-vertex cursors.
 	cursor := make([]int64, n)
 	parallel.For(pool, n, 1<<16, func(_, lo, hi int) {
 		copy(cursor[lo:hi], offsets[lo:hi])
@@ -123,7 +302,7 @@ func BuildUndirected(edges []Edge, opts ...BuildOption) (*Graph, error) {
 	parallel.For(pool, len(edges), 1<<16, func(_, lo, hi int) {
 		for _, e := range edges[lo:hi] {
 			if e.U == e.V {
-				if !cfg.dropLoops {
+				if !dropLoops {
 					adj[atomic.AddInt64(&cursor[e.U], 1)-1] = e.V
 				}
 				continue
@@ -132,51 +311,49 @@ func BuildUndirected(edges []Edge, opts ...BuildOption) (*Graph, error) {
 			adj[atomic.AddInt64(&cursor[e.V], 1)-1] = e.U
 		}
 	})
+	return offsets, adj
+}
 
-	g := &Graph{offsets: offsets, adj: adj}
-	if cfg.sortAdj || cfg.dedup {
-		parallel.For(pool, n, 4096, func(_, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				l := adj[offsets[v]:offsets[v+1]]
-				sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
-			}
-		})
-	}
-	if cfg.dedup {
-		g = dedupCSR(g)
-	}
-	if g.NumVertices() > 0 {
-		g.computeMaxDegree()
-	}
-	return g, nil
+// sortAdjacency sorts each vertex's neighbour list ascending, in parallel.
+func sortAdjacency(g *Graph, pool *parallel.Pool) {
+	parallel.For(pool, g.NumVertices(), 4096, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			slices.Sort(g.adj[g.offsets[v]:g.offsets[v+1]])
+		}
+	})
 }
 
 // dedupCSR rebuilds a graph with duplicate adjacency entries removed.
 // Adjacency lists must already be sorted.
-func dedupCSR(g *Graph) *Graph {
+func dedupCSR(g *Graph, pool *parallel.Pool) *Graph {
 	n := g.NumVertices()
 	newOff := make([]int64, n+1)
-	for v := 0; v < n; v++ {
-		l := g.Neighbors(uint32(v))
-		cnt := int64(0)
-		for i, u := range l {
-			if i == 0 || u != l[i-1] {
-				cnt++
+	parallel.For(pool, n, 1<<14, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			l := g.Neighbors(uint32(v))
+			cnt := int64(0)
+			for i, u := range l {
+				if i == 0 || u != l[i-1] {
+					cnt++
+				}
 			}
+			newOff[v+1] = cnt
 		}
-		newOff[v+1] = newOff[v] + cnt
-	}
+	})
+	parallel.PrefixSum(pool, newOff)
 	newAdj := make([]uint32, newOff[n])
-	for v := 0; v < n; v++ {
-		l := g.Neighbors(uint32(v))
-		w := newOff[v]
-		for i, u := range l {
-			if i == 0 || u != l[i-1] {
-				newAdj[w] = u
-				w++
+	parallel.For(pool, n, 1<<14, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			l := g.Neighbors(uint32(v))
+			w := newOff[v]
+			for i, u := range l {
+				if i == 0 || u != l[i-1] {
+					newAdj[w] = u
+					w++
+				}
 			}
 		}
-	}
+	})
 	return &Graph{offsets: newOff, adj: newAdj}
 }
 
@@ -187,45 +364,143 @@ func dedupCSR(g *Graph) *Graph {
 // (§V-A). If g has no isolated vertices it is returned unchanged with an
 // identity mapping of nil.
 func RemoveIsolated(g *Graph) (*Graph, []uint32) {
+	pool := parallel.Default()
 	n := g.NumVertices()
-	isolated := 0
-	for v := 0; v < n; v++ {
-		if g.Degree(uint32(v)) == 0 {
-			isolated++
+	isolated := parallel.SumInt64(pool, n, 1<<16, func(lo, hi int) int64 {
+		var c int64
+		for v := lo; v < hi; v++ {
+			if g.offsets[v+1] == g.offsets[v] {
+				c++
+			}
 		}
-	}
+		return c
+	})
 	if isolated == 0 {
 		return g, nil
 	}
+
+	// Survivor numbering: per-block survivor counts, a sequential exclusive
+	// prefix over the (few) blocks, then a parallel fill of both directions
+	// of the mapping.
+	m := n - int(isolated)
+	blocks := parallel.PartitionVertices(n, pool.Threads()*8)
+	base := make([]int64, len(blocks)+1)
+	parallel.For(pool, len(blocks), 1, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			var c int64
+			for v := blocks[b].Lo; v < blocks[b].Hi; v++ {
+				if g.offsets[v+1] > g.offsets[v] {
+					c++
+				}
+			}
+			base[b+1] = c
+		}
+	})
+	for b := 1; b <= len(blocks); b++ {
+		base[b] += base[b-1]
+	}
 	newID := make([]uint32, n)
-	origID := make([]uint32, 0, n-isolated)
-	next := uint32(0)
-	for v := 0; v < n; v++ {
-		if g.Degree(uint32(v)) > 0 {
-			newID[v] = next
-			origID = append(origID, uint32(v))
-			next++
-		}
-	}
-	m := int(next)
+	origID := make([]uint32, m)
 	offsets := make([]int64, m+1)
-	adj := make([]uint32, len(g.adj))
-	w := int64(0)
-	for v := 0; v < n; v++ {
-		if g.Degree(uint32(v)) == 0 {
-			continue
+	parallel.For(pool, len(blocks), 1, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			next := uint32(base[b])
+			for v := blocks[b].Lo; v < blocks[b].Hi; v++ {
+				if g.offsets[v+1] > g.offsets[v] {
+					newID[v] = next
+					origID[next] = v
+					offsets[next+1] = g.offsets[v+1] - g.offsets[v]
+					next++
+				}
+			}
 		}
-		nv := newID[v]
-		offsets[nv] = w
-		for _, u := range g.Neighbors(uint32(v)) {
-			adj[w] = newID[u]
-			w++
+	})
+	parallel.PrefixSum(pool, offsets)
+
+	adj := make([]uint32, offsets[m])
+	parallel.For(pool, m, 1<<14, func(_, lo, hi int) {
+		for nv := lo; nv < hi; nv++ {
+			w := offsets[nv]
+			for _, u := range g.Neighbors(origID[nv]) {
+				adj[w] = newID[u]
+				w++
+			}
 		}
-	}
-	offsets[m] = w
-	ng := &Graph{offsets: offsets, adj: adj[:w]}
+	})
+	ng := &Graph{offsets: offsets, adj: adj}
 	if m > 0 {
-		ng.computeMaxDegree()
+		ng.computeMaxDegree(pool)
 	}
 	return ng, origID
+}
+
+// firstViolation returns the smallest i in [0, n) with bad(i), or -1. The
+// scan is parallel; later chunks bail out once an earlier violation is on
+// record, so the common all-good case is a full parallel sweep and the error
+// case still reports the deterministic first offender.
+func firstViolation(pool *parallel.Pool, n int, bad func(i int) bool) int {
+	best := int64(n)
+	parallel.For(pool, n, 1<<14, func(_, lo, hi int) {
+		if int64(lo) >= atomic.LoadInt64(&best) {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			if bad(i) {
+				for {
+					cur := atomic.LoadInt64(&best)
+					if int64(i) >= cur || atomic.CompareAndSwapInt64(&best, cur, int64(i)) {
+						return
+					}
+				}
+			}
+		}
+	})
+	if best == int64(n) {
+		return -1
+	}
+	return int(best)
+}
+
+// inDegreeHistogram counts, for each vertex, how many adjacency slots
+// reference it (the in-degree). All ids in adj must be < n (callers check
+// with validateStructure first). Counting is contention-free — per-thread
+// int32 histograms over contiguous slot shards, merged per vertex, the same
+// strategy as buildCSRHistogram — with the atomic fallback for inputs where
+// the histograms would not pay for themselves.
+func inDegreeHistogram(pool *parallel.Pool, adj []uint32, n int) []int64 {
+	threads := pool.Threads()
+	counts := make([]int64, n)
+	if threads == 1 || len(adj) < parallelBuildCutoff {
+		for _, u := range adj {
+			counts[u]++
+		}
+		return counts
+	}
+	if !histogramFits(threads, n, len(adj)) {
+		parallel.For(pool, len(adj), 1<<16, func(_, lo, hi int) {
+			for _, u := range adj[lo:hi] {
+				atomic.AddInt64(&counts[u], 1)
+			}
+		})
+		return counts
+	}
+	parts := parallel.PartitionVertices(len(adj), threads)
+	hist := make([][]int32, threads)
+	pool.MustRun(func(tid int) {
+		h := make([]int32, n)
+		for _, u := range adj[parts[tid].Lo:parts[tid].Hi] {
+			h[u]++
+		}
+		hist[tid] = h
+	})
+	parallel.For(pool, n, 1<<14, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var s int64
+			for t := 0; t < threads; t++ {
+				s += int64(hist[t][v])
+			}
+			counts[v] = s
+		}
+	})
+	return counts
 }

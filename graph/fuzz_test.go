@@ -32,6 +32,13 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("-1 2\n")
 	f.Add("a b\n")
 	f.Add(strings.Repeat("1 2\n", 100))
+	// Newline-boundary shapes the sharded parser must cut around: CRLF line
+	// ends, comment/blank lines at potential chunk boundaries, no final
+	// newline, leading whitespace.
+	f.Add("0 1\r\n1 2\r\n")
+	f.Add("# c\n% c\n\n   \n0 1")
+	f.Add("\t 0 \t1 \n")
+	f.Add(strings.Repeat("# filler\n", 50) + "3 4\n" + strings.Repeat("\n", 50))
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadEdgeList(strings.NewReader(input))
 		if err != nil {
@@ -73,6 +80,72 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("accepted binary produced invalid CSR: %v", err)
+		}
+	})
+}
+
+// parseEdgeListChunks parses pre-split chunks in shard order, mirroring the
+// concatenation and lowest-shard-error-wins semantics of parseEdgeList.
+func parseEdgeListChunks(chunks [][]byte) ([]Edge, error) {
+	var out []Edge
+	for i, c := range chunks {
+		edges, perr := parseEdgeChunk(c, nil)
+		out = append(out, edges...)
+		if perr != nil {
+			return out, perr.global(chunks, i)
+		}
+	}
+	return out, nil
+}
+
+// FuzzSplitChunks pins the chunk splitter's invariants (lossless
+// concatenation, newline-terminated chunks) and that a sharded parse is
+// byte-for-byte equivalent to a single-chunk parse of the same input.
+func FuzzSplitChunks(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 3\n"), uint8(3))
+	f.Add([]byte("# c\n\n0 1\r\n"), uint8(7))
+	f.Add([]byte("no newline at all"), uint8(2))
+	f.Add([]byte("\n\n\n"), uint8(255))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, k uint8) {
+		chunks := splitChunks(data, int(k))
+		var total int
+		for i, c := range chunks {
+			if len(c) == 0 {
+				t.Fatalf("chunk %d empty", i)
+			}
+			if i < len(chunks)-1 && c[len(c)-1] != '\n' {
+				t.Fatalf("chunk %d does not end with newline: %q", i, c)
+			}
+			total += len(c)
+		}
+		if total != len(data) {
+			t.Fatalf("chunks cover %d bytes, input has %d", total, len(data))
+		}
+		cat := make([]byte, 0, len(data))
+		for _, c := range chunks {
+			cat = append(cat, c...)
+		}
+		if !bytes.Equal(cat, data) {
+			t.Fatalf("concatenation differs from input")
+		}
+
+		// Sharded parse ≡ single-chunk parse: same edges or same error line.
+		single, serr := parseEdgeChunk(data, nil)
+		sharded, merr := parseEdgeListChunks(chunks)
+		if (serr == nil) != (merr == nil) {
+			t.Fatalf("error disagreement: single=%v sharded=%v", serr, merr)
+		}
+		if serr != nil {
+			return
+		}
+		if len(single) != len(sharded) {
+			t.Fatalf("edge count: single=%d sharded=%d", len(single), len(sharded))
+		}
+		for i := range single {
+			if single[i] != sharded[i] {
+				t.Fatalf("edge %d: single=%v sharded=%v", i, single[i], sharded[i])
+			}
 		}
 	})
 }

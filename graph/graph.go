@@ -11,7 +11,12 @@
 // edge); labels elsewhere in the repository are likewise 4 bytes.
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"thriftylp/internal/parallel"
+)
 
 // Edge is one undirected edge between vertices U and V.
 type Edge struct {
@@ -24,6 +29,28 @@ type Graph struct {
 	offsets []int64  // len NumVertices()+1; offsets[v]..offsets[v+1] index adj
 	adj     []uint32 // neighbour ids; len = 2 × undirected edges (minus self-loop doubling)
 	maxDeg  uint32   // a vertex with maximum degree (smallest id among ties)
+	mapped  []byte   // non-nil when offsets/adj alias an mmap region (see Close)
+}
+
+// Mapped reports whether the graph's CSR arrays alias a memory-mapped file
+// (the zero-copy LoadBinary path) rather than the heap.
+func (g *Graph) Mapped() bool { return g.mapped != nil }
+
+// Close releases the memory mapping backing a zero-copy loaded graph and is
+// a no-op for heap-backed graphs. After Close the graph — and every slice
+// previously obtained from Offsets, Adjacency, or Neighbors — must not be
+// used: the aliased pages are gone and touching them faults. Close is
+// idempotent. Graphs that are never closed keep their mapping until process
+// exit, which is harmless for the common load-once-run-forever shape.
+func (g *Graph) Close() error {
+	if g.mapped == nil {
+		return nil
+	}
+	m := g.mapped
+	g.mapped = nil
+	g.offsets = nil
+	g.adj = nil
+	return munmapBytes(m)
 }
 
 // NumVertices returns |V|.
@@ -93,18 +120,15 @@ func (g *Graph) Edges() []Edge {
 	return edges
 }
 
-// computeMaxDegree sets g.maxDeg by scanning the offsets array.
-func (g *Graph) computeMaxDegree() {
-	var best uint32
-	bestDeg := int64(-1)
-	for v := 0; v < g.NumVertices(); v++ {
-		d := g.offsets[v+1] - g.offsets[v]
-		if d > bestDeg {
-			bestDeg = d
-			best = uint32(v)
-		}
+// computeMaxDegree sets g.maxDeg by a parallel argmax over the offsets
+// array; ties resolve to the smallest id, matching the sequential scan.
+func (g *Graph) computeMaxDegree(pool *parallel.Pool) {
+	if pool == nil {
+		pool = parallel.Default()
 	}
-	g.maxDeg = best
+	g.maxDeg = uint32(parallel.MaxIndex(pool, g.NumVertices(), func(v int) int64 {
+		return g.offsets[v+1] - g.offsets[v]
+	}))
 }
 
 // Validate checks structural invariants of the CSR arrays: monotone offsets
@@ -113,6 +137,37 @@ func (g *Graph) computeMaxDegree() {
 // match). It is O(|V|+|E|) time and O(|V|) space and is used by tests and by
 // loaders of untrusted files.
 func (g *Graph) Validate() error {
+	pool := parallel.Default()
+	if err := g.validateStructure(pool); err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	// Symmetry: the multiset of (v,u) slots must equal the multiset of
+	// (u,v) slots. Count degree-direction balance: for each unordered pair
+	// the number of v→u slots must equal u→v slots. A full multiset check
+	// is O(E log E); we verify via per-vertex counters over two passes.
+	inCount := inDegreeHistogram(pool, g.adj, n)
+	if v := firstViolation(pool, n, func(v int) bool {
+		return inCount[v] != g.offsets[v+1]-g.offsets[v]
+	}); v >= 0 {
+		return fmt.Errorf("graph: vertex %d has out-degree %d but in-degree %d (asymmetric CSR)",
+			v, g.offsets[v+1]-g.offsets[v], inCount[v])
+	}
+	return nil
+}
+
+// validateStructure checks the invariants memory safety depends on —
+// monotone offsets spanning the adjacency array and in-range neighbour ids —
+// without the O(|E|) symmetry audit. The adjacency sweep is a direct loop
+// with a shared flag; the exact first offending slot is recomputed only on
+// the error path, so the all-good case stays branch-cheap.
+func (g *Graph) validateStructure(pool *parallel.Pool) error {
+	if pool == nil {
+		pool = parallel.Default()
+	}
 	n := g.NumVertices()
 	if len(g.offsets) == 0 {
 		if len(g.adj) != 0 {
@@ -123,32 +178,28 @@ func (g *Graph) Validate() error {
 	if g.offsets[0] != 0 {
 		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
 	}
-	for v := 0; v < n; v++ {
-		if g.offsets[v+1] < g.offsets[v] {
-			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
-		}
+	if v := firstViolation(pool, n, func(v int) bool {
+		return g.offsets[v+1] < g.offsets[v]
+	}); v >= 0 {
+		return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
 	}
 	if g.offsets[n] != int64(len(g.adj)) {
 		return fmt.Errorf("graph: offsets[%d] = %d, want len(adj) = %d", n, g.offsets[n], len(g.adj))
 	}
-	for i, u := range g.adj {
-		if int(u) >= n {
-			return fmt.Errorf("graph: adjacency slot %d references vertex %d out of range [0,%d)", i, u, n)
+	var anyBad atomic.Bool
+	parallel.For(pool, len(g.adj), 1<<16, func(_, lo, hi int) {
+		for _, u := range g.adj[lo:hi] {
+			if int(u) >= n {
+				anyBad.Store(true)
+				return
+			}
 		}
-	}
-	// Symmetry: the multiset of (v,u) slots must equal the multiset of
-	// (u,v) slots. Count degree-direction balance: for each unordered pair
-	// the number of v→u slots must equal u→v slots. A full multiset check
-	// is O(E log E); we verify via per-vertex counters over two passes.
-	inCount := make([]int64, n)
-	for _, u := range g.adj {
-		inCount[u]++
-	}
-	for v := 0; v < n; v++ {
-		if inCount[v] != g.offsets[v+1]-g.offsets[v] {
-			return fmt.Errorf("graph: vertex %d has out-degree %d but in-degree %d (asymmetric CSR)",
-				v, g.offsets[v+1]-g.offsets[v], inCount[v])
-		}
+	})
+	if anyBad.Load() {
+		i := firstViolation(pool, len(g.adj), func(i int) bool {
+			return int(g.adj[i]) >= n
+		})
+		return fmt.Errorf("graph: adjacency slot %d references vertex %d out of range [0,%d)", i, g.adj[i], n)
 	}
 	return nil
 }
@@ -163,7 +214,7 @@ func FromCSR(offsets []int64, adj []uint32) (*Graph, error) {
 		return nil, err
 	}
 	if g.NumVertices() > 0 {
-		g.computeMaxDegree()
+		g.computeMaxDegree(nil)
 	}
 	return g, nil
 }

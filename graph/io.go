@@ -2,7 +2,9 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -23,14 +25,23 @@ const (
 )
 
 // WriteEdgeList writes g as a text edge list with one line per undirected
-// edge (u <= v).
+// edge (u <= v). Lines are formatted with strconv.AppendUint into a reused
+// buffer, so the per-edge cost is two integer conversions and a copy — no
+// fmt state machine and no per-line allocation.
 func WriteEdgeList(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	fmt.Fprintf(bw, "# thriftylp edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	buf := make([]byte, 0, 32)
 	for v := 0; v < g.NumVertices(); v++ {
 		for _, u := range g.Neighbors(uint32(v)) {
 			if uint32(v) <= u {
-				fmt.Fprintf(bw, "%d %d\n", v, u)
+				buf = strconv.AppendUint(buf[:0], uint64(v), 10)
+				buf = append(buf, ' ')
+				buf = strconv.AppendUint(buf, uint64(u), 10)
+				buf = append(buf, '\n')
+				if _, err := bw.Write(buf); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -38,60 +49,104 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 }
 
 // ReadEdgeList parses a text edge list and builds an undirected graph with
-// the supplied build options.
+// the supplied build options. The whole input is read into one buffer
+// (pre-sized from the file length when the reader is a regular file) and
+// parsed with the sharded parser in parse.go.
 func ReadEdgeList(r io.Reader, opts ...BuildOption) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var edges []Edge
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want at least two fields, got %q", lineNo, line)
-		}
-		u, err := strconv.ParseUint(fields[0], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
-		}
-		v, err := strconv.ParseUint(fields[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
-		}
-		// The id space is [0, MaxUint32): the top id is reserved because
-		// several consumers compute v+1 (Thrifty's planted labels, CSR
-		// degree indexing), which must not wrap.
-		if uint32(u) == maxVertexID || uint32(v) == maxVertexID {
-			return nil, fmt.Errorf("graph: line %d: vertex id %d is reserved", lineNo, maxVertexID)
-		}
-		edges = append(edges, Edge{U: uint32(u), V: uint32(v)})
+	data, err := readAll(r)
+	if err != nil {
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
+	edges, err := parseEdgeList(data, nil)
+	if err != nil {
 		return nil, err
 	}
 	return BuildUndirected(edges, opts...)
 }
 
-// WriteBinary writes g in the binary CSR format.
-func WriteBinary(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	hdr := [4]uint64{binMagic, binVersion, uint64(g.NumVertices()), uint64(len(g.adj))}
-	for _, h := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
-			return err
+// readAll slurps r, pre-sizing the buffer from Stat when r is a regular
+// file so the read happens into one allocation instead of the doubling
+// growth of a bare io.ReadAll.
+func readAll(r io.Reader) ([]byte, error) {
+	var buf bytes.Buffer
+	if f, ok := r.(*os.File); ok {
+		if st, err := f.Stat(); err == nil && st.Mode().IsRegular() {
+			if pos, err := f.Seek(0, io.SeekCurrent); err == nil && st.Size() > pos {
+				// +1 spares ReadFrom's final probe-for-EOF grow.
+				buf.Grow(int(st.Size()-pos) + 1)
+			}
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteBinary writes g in the binary CSR format. On little-endian hosts the
+// offsets and adjacency arrays are emitted as two bulk byte views of the
+// in-memory arrays; other hosts convert through a chunked staging buffer.
+func WriteBinary(w io.Writer, g *Graph) error {
+	var hdr [binHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], binMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], binVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(g.adj)))
+	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+	if err := writeInt64s(w, g.offsets); err != nil {
 		return err
 	}
-	return bw.Flush()
+	return writeUint32s(w, g.adj)
+}
+
+// writeInt64s emits s little-endian: zero-copy on little-endian hosts, via
+// a chunked conversion buffer elsewhere.
+func writeInt64s(w io.Writer, s []int64) error {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		_, err := w.Write(int64sAsBytes(s))
+		return err
+	}
+	buf := make([]byte, 8*minU64(uint64(len(s)), readChunkCap))
+	for len(s) > 0 {
+		k := minU64(uint64(len(s)), readChunkCap)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(s[i]))
+		}
+		if _, err := w.Write(buf[:8*k]); err != nil {
+			return err
+		}
+		s = s[k:]
+	}
+	return nil
+}
+
+// writeUint32s emits s little-endian: zero-copy on little-endian hosts, via
+// a chunked conversion buffer elsewhere.
+func writeUint32s(w io.Writer, s []uint32) error {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		_, err := w.Write(uint32sAsBytes(s))
+		return err
+	}
+	buf := make([]byte, 4*minU64(uint64(len(s)), readChunkCap))
+	for len(s) > 0 {
+		k := minU64(uint64(len(s)), readChunkCap)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], s[i])
+		}
+		if _, err := w.Write(buf[:4*k]); err != nil {
+			return err
+		}
+		s = s[k:]
+	}
+	return nil
 }
 
 // binHeaderSize is the fixed binary CSR header: magic, version, |V|,
@@ -244,10 +299,23 @@ func SaveBinary(path string, g *Graph) error {
 	return f.Close()
 }
 
+// errMmapFallback signals that the zero-copy loader could not establish a
+// mapping (kernel refusal, special file) and the portable path should run
+// instead. It never escapes LoadBinary.
+var errMmapFallback = errors.New("graph: mmap unavailable")
+
 // LoadBinary reads a graph from a binary CSR file. Unlike ReadBinary on a
 // bare stream, the file size is known, so the header's claimed counts are
 // validated against it before any allocation: a corrupt header that
 // promises more data than the file holds is rejected up front.
+//
+// On little-endian hosts with mmap support the offsets and adjacency arrays
+// are aliased directly out of the page cache — no copy, no decode loop. The
+// returned graph then owns a memory mapping; call Close to release it (see
+// Graph.Close). Elsewhere, and whenever the kernel refuses the mapping, the
+// portable chunked-read path runs instead. Both paths validate the header
+// and the structural CSR invariants (monotone offsets, in-range ids); the
+// portable path additionally audits symmetry, as FromCSR always has.
 func LoadBinary(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -257,6 +325,15 @@ func LoadBinary(path string) (*Graph, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err
+	}
+	if mmapSupported && hostLittleEndian && st.Mode().IsRegular() && st.Size() >= binHeaderSize {
+		g, err := loadBinaryMmap(f, path, st.Size())
+		if err == nil {
+			return g, nil
+		}
+		if !errors.Is(err, errMmapFallback) {
+			return nil, err
+		}
 	}
 	n, m, err := readBinaryHeader(f)
 	if err != nil {
@@ -279,14 +356,62 @@ func LoadBinary(path string) (*Graph, error) {
 	return FromCSR(offsets, adj)
 }
 
-// LoadEdgeList reads a graph from a text edge-list file.
-func LoadEdgeList(path string, opts ...BuildOption) (*Graph, error) {
-	f, err := os.Open(path)
+// loadBinaryMmap is the zero-copy LoadBinary path: map the file, validate
+// the header against the mapped size, and alias the CSR arrays straight
+// from the mapping. The header is 32 bytes and the mapping page-aligned, so
+// the offsets alias is 8-byte aligned and the adjacency alias 4-byte
+// aligned by construction. Returns errMmapFallback when no mapping can be
+// established; any other error is a verdict on the file itself.
+func loadBinaryMmap(f *os.File, path string, size int64) (*Graph, error) {
+	data, err := mmapFile(f, size)
+	if err != nil {
+		return nil, errMmapFallback
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			munmapBytes(data)
+		}
+	}()
+	n, m, err := readBinaryHeader(bytes.NewReader(data[:binHeaderSize]))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadEdgeList(f, opts...)
+	need := binPayloadSize(n, m)
+	if need > size-binHeaderSize {
+		return nil, fmt.Errorf(
+			"graph: %s: header claims %d vertices and %d slots (%d payload bytes) but file holds %d",
+			path, n, m, need, size-binHeaderSize)
+	}
+	offEnd := binHeaderSize + int64(8*(n+1))
+	offsets := int64sFromBytes(data[binHeaderSize:offEnd])
+	var adj []uint32
+	if m > 0 {
+		adj = uint32sFromBytes(data[offEnd : offEnd+int64(4*m)])
+	}
+	g := &Graph{offsets: offsets, adj: adj, mapped: data}
+	// Structural validation only: monotone offsets spanning the adjacency
+	// array and in-range ids — everything memory safety downstream depends
+	// on. The O(|E|) symmetry audit is skipped here: binary CSR is this
+	// repository's own interchange format and WriteBinary only emits
+	// symmetric graphs, while an asymmetric file can skew results but cannot
+	// corrupt memory. Untrusted streams (ReadBinary) and raw arrays
+	// (FromCSR) still run the full audit; callers wanting it on a mapped
+	// graph can invoke Validate themselves.
+	if err := g.validateStructure(nil); err != nil {
+		return nil, err
+	}
+	if g.NumVertices() > 0 {
+		g.computeMaxDegree(nil)
+	}
+	ok = true
+	return g, nil
+}
+
+// LoadEdgeList reads a graph from a text edge-list file.
+func LoadEdgeList(path string, opts ...BuildOption) (*Graph, error) {
+	g, _, err := ingestEdgeList(path, opts...)
+	return g, err
 }
 
 // Load reads a graph from path, dispatching on extension: ".bin" and ".csr"

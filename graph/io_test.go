@@ -36,6 +36,22 @@ func TestEdgeListRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteEdgeListGolden pins the exact text emitted by the allocation-free
+// writer: header line, one "u v" pair per undirected edge with u <= v, in
+// vertex order.
+func TestWriteEdgeListGolden(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	want := "# thriftylp edge list: 6 vertices, 6 edges\n" +
+		"0 1\n0 3\n1 2\n1 3\n2 3\n4 4\n"
+	if buf.String() != want {
+		t.Fatalf("edge-list text drifted:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
 func TestReadEdgeListCommentsAndErrors(t *testing.T) {
 	in := "# comment\n% other comment\n\n0 1\n1 2 999\n"
 	g, err := ReadEdgeList(strings.NewReader(in))

@@ -1,0 +1,16 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly || solaris)
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapBytes(b []byte) error { return nil }

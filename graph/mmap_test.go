@@ -1,0 +1,218 @@
+package graph
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestLoadBinaryMmapRoundTrip pins the zero-copy loader: on hosts where the
+// mapping path is available the loaded graph must alias a mapping, and in all
+// cases the structure must round-trip exactly.
+func TestLoadBinaryMmapRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+
+	if mmapSupported && hostLittleEndian {
+		if !got.Mapped() {
+			t.Error("mmap-capable little-endian host did not take the zero-copy path")
+		}
+	} else if got.Mapped() {
+		t.Error("host without mmap support claims a mapping")
+	}
+	if !slices.Equal(got.Offsets(), g.Offsets()) || !slices.Equal(got.Adjacency(), g.Adjacency()) {
+		t.Fatal("binary round trip changed the CSR")
+	}
+	if got.MaxDegreeVertex() != g.MaxDegreeVertex() {
+		t.Errorf("max-degree vertex: got %d want %d", got.MaxDegreeVertex(), g.MaxDegreeVertex())
+	}
+}
+
+// TestGraphCloseIdempotent checks the mapping release contract: Close twice
+// is fine, and a closed graph reports empty rather than touching unmapped
+// memory.
+func TestGraphCloseIdempotent(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := got.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if got.Mapped() {
+		t.Error("closed graph still claims a mapping")
+	}
+	if got.NumVertices() != 0 {
+		t.Errorf("closed graph reports %d vertices", got.NumVertices())
+	}
+	// Close on a heap-built graph is a no-op, not an error.
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close on unmapped graph: %v", err)
+	}
+}
+
+// TestLoadBinaryHostileHeaderFile mirrors the hardening tests through the
+// mmap path: a header claiming more payload than the file holds must be
+// rejected up front with the stat-based message on every platform.
+func TestLoadBinaryHostileHeaderFile(t *testing.T) {
+	dir := t.TempDir()
+
+	writeFile := func(name string, data []byte) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	header := func(n, m uint64) []byte {
+		var hdr [binHeaderSize]byte
+		binary.LittleEndian.PutUint64(hdr[0:], binMagic)
+		binary.LittleEndian.PutUint64(hdr[8:], binVersion)
+		binary.LittleEndian.PutUint64(hdr[16:], n)
+		binary.LittleEndian.PutUint64(hdr[24:], m)
+		return hdr[:]
+	}
+
+	if _, err := LoadBinary(writeFile("huge.bin", header(1<<30, 1<<40))); err == nil {
+		t.Fatal("header claiming terabytes accepted")
+	} else if !strings.Contains(err.Error(), "file holds") {
+		t.Errorf("hostile header error lacks the size diagnosis: %v", err)
+	}
+
+	if _, err := LoadBinary(writeFile("badmagic.bin", make([]byte, binHeaderSize))); err == nil {
+		t.Fatal("zero magic accepted")
+	} else if !strings.Contains(err.Error(), "bad magic") {
+		t.Errorf("unexpected error for zero magic: %v", err)
+	}
+
+	// Truncated payload: header fine, bytes missing.
+	g := testGraph(t)
+	full := filepath.Join(dir, "full.bin")
+	if err := SaveBinary(full, g); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBinary(writeFile("trunc.bin", data[:len(data)-4])); err == nil {
+		t.Fatal("truncated payload accepted")
+	} else if !strings.Contains(err.Error(), "file holds") {
+		t.Errorf("truncation error lacks the size diagnosis: %v", err)
+	}
+
+	// Short header alone.
+	if _, err := LoadBinary(writeFile("short.bin", data[:binHeaderSize-8])); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+// TestWriteBinaryGoldenLayout pins the on-disk byte layout against an
+// independently constructed expectation so the zero-copy writer cannot
+// silently change the format.
+func TestWriteBinaryGoldenLayout(t *testing.T) {
+	g, err := BuildUndirected([]Edge{{0, 1}, {1, 2}}, WithSortedAdjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteBinary(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(sb.String())
+
+	var want []byte
+	le := binary.LittleEndian
+	want = le.AppendUint64(want, binMagic)
+	want = le.AppendUint64(want, binVersion)
+	want = le.AppendUint64(want, 3) // vertices
+	want = le.AppendUint64(want, 4) // directed slots
+	for _, o := range []int64{0, 1, 3, 4} {
+		want = le.AppendUint64(want, uint64(o))
+	}
+	for _, a := range []uint32{1, 0, 2, 1} {
+		want = le.AppendUint32(want, a)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("binary layout drifted:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestIngestStats checks the measured-ingestion wrapper for both formats.
+func TestIngestStats(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+
+	elPath := filepath.Join(dir, "g.el")
+	f, err := os.Create(elPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	binPath := filepath.Join(dir, "g.bin")
+	if err := SaveBinary(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// testGraph carries an isolated trailing vertex that the text format
+	// cannot represent, so the vertex count is passed explicitly.
+	eg, est, err := Ingest(elPath, WithNumVertices(6), WithSortedAdjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eg.Close()
+	if est.Format != FormatEdgeList {
+		t.Errorf("edge-list format = %q", est.Format)
+	}
+	if est.Bytes <= 0 || est.Vertices != g.NumVertices() || est.Edges != g.NumEdges() {
+		t.Errorf("edge-list stats off: %+v", est)
+	}
+	if est.LoadDuration < 0 || est.BuildDuration < 0 || est.Total() != est.LoadDuration+est.BuildDuration {
+		t.Errorf("edge-list durations inconsistent: %+v", est)
+	}
+
+	bg, bst, err := Ingest(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bg.Close()
+	wantFormat := FormatBinary
+	if mmapSupported && hostLittleEndian {
+		wantFormat = FormatBinaryMmap
+	}
+	if bst.Format != wantFormat {
+		t.Errorf("binary format = %q, want %q", bst.Format, wantFormat)
+	}
+	if bst.BuildDuration != 0 {
+		t.Errorf("binary ingest reports a build phase: %+v", bst)
+	}
+	if bst.Vertices != g.NumVertices() || bst.Edges != g.NumEdges() {
+		t.Errorf("binary stats off: %+v", bst)
+	}
+	if !slices.Equal(bg.Offsets(), eg.Offsets()) || !slices.Equal(bg.Adjacency(), eg.Adjacency()) {
+		t.Error("edge-list and binary ingests disagree on the CSR")
+	}
+}

@@ -1,0 +1,28 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly || solaris
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy loader paths; on other platforms the
+// portable chunked-read path is used instead.
+const mmapSupported = true
+
+// mmapFile maps the first size bytes of f read-only and private. The
+// mapping is independent of f's lifetime: the file may be closed while the
+// mapping stays valid.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+// munmapBytes releases a mapping produced by mmapFile. Every alias derived
+// from it is invalid afterwards.
+func munmapBytes(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+
+	"thriftylp/internal/parallel"
+)
+
+// Chunked parallel edge-list parsing: the input buffer is split at newline
+// boundaries into several shards per worker, each shard is scanned into a
+// private []Edge with a strconv-free integer scanner (no per-line string
+// allocation, no Fields split), and the shard outputs are concatenated in
+// shard order — so the resulting edge order is identical to a sequential
+// scan of the file, independent of scheduling.
+//
+// Field separators are ASCII whitespace (space, tab, \v, \f, \r); lines end
+// at '\n' (CRLF therefore works, the '\r' reads as a trailing separator).
+// '#'- and '%'-prefixed lines and blank lines are skipped, extra fields
+// beyond the first two are ignored — the same language the previous
+// scanner-based reader accepted for ASCII inputs.
+
+const (
+	// parseParallelCutoff is the input size below which sharding costs more
+	// than it saves and a single shard is parsed inline.
+	parseParallelCutoff = 1 << 16
+	// parseShardsPerThread oversubscribes shards so dynamic chunk claiming
+	// can even out shards with unlike comment/blank-line density.
+	parseShardsPerThread = 4
+)
+
+// splitChunks cuts data into at most k newline-bounded chunks of roughly
+// equal byte size. Invariants: the concatenation of the chunks is exactly
+// data, no chunk is empty, and every chunk except possibly the last ends
+// with '\n' — so no text line ever spans two chunks.
+func splitChunks(data []byte, k int) [][]byte {
+	if k < 1 {
+		k = 1
+	}
+	chunks := make([][]byte, 0, k)
+	start := 0
+	for i := 1; i <= k && start < len(data); i++ {
+		end := int(int64(len(data)) * int64(i) / int64(k))
+		if end < start {
+			end = start
+		}
+		if i == k || end >= len(data) {
+			end = len(data)
+		} else if j := bytes.IndexByte(data[end:], '\n'); j >= 0 {
+			end += j + 1
+		} else {
+			end = len(data)
+		}
+		if end > start {
+			chunks = append(chunks, data[start:end])
+		}
+		start = end
+	}
+	return chunks
+}
+
+// isFieldSep reports whether c separates fields within a line.
+func isFieldSep(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// parseError is a shard-local parse failure; the global line number is
+// resolved lazily (only errors pay for line counting).
+type parseError struct {
+	localLine int // 1-based line index within the shard
+	msg       string
+}
+
+// scanVertexID scans one decimal vertex id starting at row[p]. The field
+// must consist solely of digits and end at a separator or the line end;
+// values above the uint32 range are rejected. Returns the id, the index one
+// past the field, and whether the scan succeeded.
+func scanVertexID(row []byte, p int) (uint32, int, bool) {
+	start := p
+	var v uint64
+	for p < len(row) {
+		c := row[p]
+		if c >= '0' && c <= '9' {
+			// v stays <= MaxUint32 before each step, so v*10+9 cannot
+			// overflow uint64.
+			v = v*10 + uint64(c-'0')
+			if v > uint64(^uint32(0)) {
+				return 0, p, false
+			}
+			p++
+			continue
+		}
+		if isFieldSep(c) {
+			break
+		}
+		return 0, p, false
+	}
+	if p == start {
+		return 0, p, false
+	}
+	return uint32(v), p, true
+}
+
+// parseEdgeChunk scans one newline-bounded chunk, appending parsed edges to
+// dst. On a malformed line it stops and reports the shard-local line index.
+func parseEdgeChunk(chunk []byte, dst []Edge) ([]Edge, *parseError) {
+	line := 0
+	for len(chunk) > 0 {
+		line++
+		var row []byte
+		if j := bytes.IndexByte(chunk, '\n'); j >= 0 {
+			row, chunk = chunk[:j], chunk[j+1:]
+		} else {
+			row, chunk = chunk, nil
+		}
+		p := 0
+		for p < len(row) && isFieldSep(row[p]) {
+			p++
+		}
+		if p == len(row) || row[p] == '#' || row[p] == '%' {
+			continue
+		}
+		u, q, ok := scanVertexID(row, p)
+		if !ok {
+			return dst, &parseError{line, fmt.Sprintf("want two numeric vertex ids, got %q", bytes.TrimSpace(row))}
+		}
+		p = q
+		for p < len(row) && isFieldSep(row[p]) {
+			p++
+		}
+		if p == len(row) {
+			return dst, &parseError{line, fmt.Sprintf("want at least two fields, got %q", bytes.TrimSpace(row))}
+		}
+		v, _, ok := scanVertexID(row, p)
+		if !ok {
+			return dst, &parseError{line, fmt.Sprintf("want two numeric vertex ids, got %q", bytes.TrimSpace(row))}
+		}
+		// The id space is [0, MaxUint32): the top id is reserved because
+		// several consumers compute id+1 (Thrifty's planted labels, CSR
+		// degree indexing), which must not wrap.
+		if u == maxVertexID || v == maxVertexID {
+			return dst, &parseError{line, fmt.Sprintf("vertex id %d is reserved", maxVertexID)}
+		}
+		dst = append(dst, Edge{U: u, V: v})
+	}
+	return dst, nil
+}
+
+// edgeCapFor sizes a shard's private edge buffer from its byte length: the
+// shortest possible edge line ("0 1\n") is 4 bytes and realistic lines run
+// longer, so bytes/8 overshoots by at most ~2x and usually pre-sizes right.
+func edgeCapFor(chunkBytes int) int {
+	return chunkBytes/8 + 8
+}
+
+// parseEdgeList parses a whole edge-list buffer into an edge slice, sharding
+// the work across the pool. The returned edge order equals the file order.
+func parseEdgeList(data []byte, pool *parallel.Pool) ([]Edge, error) {
+	if pool == nil {
+		pool = parallel.Default()
+	}
+	k := 1
+	if pool.Threads() > 1 && len(data) >= parseParallelCutoff {
+		k = pool.Threads() * parseShardsPerThread
+	}
+	chunks := splitChunks(data, k)
+	if len(chunks) == 0 {
+		return nil, nil
+	}
+	if len(chunks) == 1 {
+		edges, perr := parseEdgeChunk(chunks[0], make([]Edge, 0, edgeCapFor(len(chunks[0]))))
+		if perr != nil {
+			return nil, perr.global(chunks, 0)
+		}
+		return edges, nil
+	}
+	shardEdges := make([][]Edge, len(chunks))
+	shardErrs := make([]*parseError, len(chunks))
+	parallel.For(pool, len(chunks), 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			shardEdges[i], shardErrs[i] = parseEdgeChunk(chunks[i], make([]Edge, 0, edgeCapFor(len(chunks[i]))))
+		}
+	})
+	// The lowest-shard error is the first bad line of the file: shards are
+	// contiguous and each shard stops at its first malformed line.
+	for i, perr := range shardErrs {
+		if perr != nil {
+			return nil, perr.global(chunks, i)
+		}
+	}
+	starts := make([]int, len(chunks)+1)
+	for i, se := range shardEdges {
+		starts[i+1] = starts[i] + len(se)
+	}
+	out := make([]Edge, starts[len(chunks)])
+	parallel.For(pool, len(chunks), 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out[starts[i]:], shardEdges[i])
+		}
+	})
+	return out, nil
+}
+
+// global resolves a shard-local parse error to a file-global error by
+// counting the newlines of the preceding shards (done only on the error
+// path, so the happy path never pays for line accounting).
+func (e *parseError) global(chunks [][]byte, shard int) error {
+	line := e.localLine
+	for _, c := range chunks[:shard] {
+		line += bytes.Count(c, []byte{'\n'})
+	}
+	return fmt.Errorf("graph: line %d: %s", line, e.msg)
+}

@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"thriftylp/internal/parallel"
 )
 
 // Relabel returns a copy of g with vertex v renamed to perm[v]. perm must
@@ -15,6 +17,9 @@ func Relabel(g *Graph, perm []uint32) (*Graph, error) {
 	if len(perm) != n {
 		return nil, fmt.Errorf("graph: permutation has %d entries for %d vertices", len(perm), n)
 	}
+	// Bijection validation stays sequential: it is a data-dependent check
+	// (seen[p] races under concurrent writes) and first-error determinism
+	// matters more here than the one pass over an O(|V|) array.
 	seen := make([]bool, n)
 	for v, p := range perm {
 		if int(p) >= n {
@@ -26,25 +31,30 @@ func Relabel(g *Graph, perm []uint32) (*Graph, error) {
 		seen[p] = true
 	}
 
-	// Degrees of the renamed vertices, then prefix-sum.
+	// Degrees of the renamed vertices, then prefix-sum. Writes are disjoint
+	// (perm is a bijection), so both the scatter of degrees and the segment
+	// copies below parallelize without synchronization.
+	pool := parallel.Default()
 	offsets := make([]int64, n+1)
-	for v := 0; v < n; v++ {
-		offsets[perm[v]+1] = int64(g.Degree(uint32(v)))
-	}
-	for v := 1; v <= n; v++ {
-		offsets[v] += offsets[v-1]
-	}
-	adj := make([]uint32, len(g.adj))
-	for v := 0; v < n; v++ {
-		w := offsets[perm[v]]
-		for _, u := range g.Neighbors(uint32(v)) {
-			adj[w] = perm[u]
-			w++
+	parallel.For(pool, n, 1<<15, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			offsets[perm[v]+1] = int64(g.Degree(uint32(v)))
 		}
-	}
+	})
+	parallel.PrefixSum(pool, offsets)
+	adj := make([]uint32, len(g.adj))
+	parallel.For(pool, n, 1<<13, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			w := offsets[perm[v]]
+			for _, u := range g.Neighbors(uint32(v)) {
+				adj[w] = perm[u]
+				w++
+			}
+		}
+	})
 	ng := &Graph{offsets: offsets, adj: adj}
 	if n > 0 {
-		ng.computeMaxDegree()
+		ng.computeMaxDegree(pool)
 	}
 	return ng, nil
 }

@@ -59,7 +59,7 @@ func InducedSubgraph(g *Graph, vertices []uint32) (*Graph, []uint32, error) {
 	}
 	sub := &Graph{offsets: offsets, adj: adj}
 	if m > 0 {
-		sub.computeMaxDegree()
+		sub.computeMaxDegree(nil)
 	}
 	return sub, origID, nil
 }

@@ -1,0 +1,54 @@
+package graph
+
+import "unsafe"
+
+// The binary CSR wire format is little-endian. On little-endian hosts the
+// in-memory representation of the offsets/adjacency arrays is therefore
+// byte-identical to the file payload, which is what makes the zero-copy
+// paths possible: WriteBinary emits the arrays as raw byte views, and the
+// mmap loader aliases the arrays straight out of the page cache. Big-endian
+// hosts (and non-mmap platforms) take the portable element-wise paths.
+
+// hostLittleEndian reports whether this host stores integers little-endian,
+// i.e. whether the native layout matches the wire format.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// int64sFromBytes aliases b as []int64 without copying. b must be 8-byte
+// aligned and its length a multiple of 8; callers guarantee both (the binary
+// header is 32 bytes and mmap regions are page-aligned).
+func int64sFromBytes(b []byte) []int64 {
+	if len(b) < 8 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// uint32sFromBytes aliases b as []uint32 without copying. b must be 4-byte
+// aligned and its length a multiple of 4.
+func uint32sFromBytes(b []byte) []uint32 {
+	if len(b) < 4 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// int64sAsBytes aliases s as its raw bytes without copying (little-endian
+// hosts only — callers must check hostLittleEndian first).
+func int64sAsBytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+}
+
+// uint32sAsBytes aliases s as its raw bytes without copying (little-endian
+// hosts only).
+func uint32sAsBytes(s []uint32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}

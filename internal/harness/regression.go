@@ -69,50 +69,75 @@ type BenchRecord struct {
 	PhaseNs        map[string]int64 `json:"phase_ns,omitempty"`
 }
 
+// HostStamp identifies the machine and toolchain a benchmark report was
+// produced on: absolute throughput is machine-dependent, so reports are
+// primarily read as same-machine trajectories and Mismatch flags comparisons
+// across differing hosts. It embeds flat into report structs, so the JSON
+// layout is unchanged from the pre-extraction format.
+type HostStamp struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	Threads    int    `json:"threads"` // 0 = GOMAXPROCS pool
+}
+
+// currentHostStamp stamps the running process's host and the configured
+// worker-thread count.
+func currentHostStamp(threads int) HostStamp {
+	return HostStamp{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Threads:    threads,
+	}
+}
+
+// Mismatch compares two host stamps and returns a human-readable line per
+// differing field (empty when comparable). A perf delta measured across any
+// mismatch is not a code regression signal.
+func (h HostStamp) Mismatch(prev HostStamp) []string {
+	var out []string
+	diff := func(field string, old, new any) {
+		out = append(out, fmt.Sprintf("%s changed: %v -> %v", field, old, new))
+	}
+	if prev.GoMaxProcs != h.GoMaxProcs {
+		diff("gomaxprocs", prev.GoMaxProcs, h.GoMaxProcs)
+	}
+	if prev.NumCPU != h.NumCPU {
+		diff("numcpu", prev.NumCPU, h.NumCPU)
+	}
+	if prev.GoVersion != h.GoVersion {
+		diff("go version", prev.GoVersion, h.GoVersion)
+	}
+	if prev.GOOS != h.GOOS {
+		diff("goos", prev.GOOS, h.GOOS)
+	}
+	if prev.GOARCH != h.GOARCH {
+		diff("goarch", prev.GOARCH, h.GOARCH)
+	}
+	if prev.Threads != h.Threads {
+		diff("threads", prev.Threads, h.Threads)
+	}
+	return out
+}
+
 // BenchReport is the full regression run, as serialized to
 // BENCH_thrifty.json.
 type BenchReport struct {
 	// Schema versions the file layout (see BenchSchema).
 	Schema string `json:"schema"`
-	// The host stamp: absolute throughput is machine-dependent, so the
-	// report is primarily read as a same-machine trajectory. HostMismatch
-	// flags comparisons across differing hosts.
-	GoMaxProcs int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"numcpu"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	Threads    int           `json:"threads"` // 0 = GOMAXPROCS pool
-	Records    []BenchRecord `json:"records"`
+	HostStamp
+	Records []BenchRecord `json:"records"`
 }
 
-// HostMismatch compares the report's host stamp against a previous report and
-// returns a human-readable line per differing field (empty when comparable).
-// A perf delta measured across any mismatch is not a code regression signal.
+// HostMismatch compares the report's host stamp against a previous report;
+// see HostStamp.Mismatch.
 func (r BenchReport) HostMismatch(prev BenchReport) []string {
-	var out []string
-	diff := func(field string, old, new any) {
-		out = append(out, fmt.Sprintf("%s changed: %v -> %v", field, old, new))
-	}
-	if prev.GoMaxProcs != r.GoMaxProcs {
-		diff("gomaxprocs", prev.GoMaxProcs, r.GoMaxProcs)
-	}
-	if prev.NumCPU != r.NumCPU {
-		diff("numcpu", prev.NumCPU, r.NumCPU)
-	}
-	if prev.GoVersion != r.GoVersion {
-		diff("go version", prev.GoVersion, r.GoVersion)
-	}
-	if prev.GOOS != r.GOOS {
-		diff("goos", prev.GOOS, r.GOOS)
-	}
-	if prev.GOARCH != r.GOARCH {
-		diff("goarch", prev.GOARCH, r.GOARCH)
-	}
-	if prev.Threads != r.Threads {
-		diff("threads", prev.Threads, r.Threads)
-	}
-	return out
+	return r.HostStamp.Mismatch(prev.HostStamp)
 }
 
 // ReadBenchReport loads a previously written BENCH JSON file. Reports written
@@ -135,13 +160,8 @@ func ReadBenchReport(path string) (BenchReport, error) {
 // noise, and the same discipline as TimeAlgorithm).
 func BenchRegression(cfg RunConfig) (BenchReport, error) {
 	rep := BenchReport{
-		Schema:     BenchSchema,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		Threads:    cfg.Threads,
+		Schema:    BenchSchema,
+		HostStamp: currentHostStamp(cfg.Threads),
 	}
 	for _, f := range RegressionFixtures() {
 		g, err := f.Build()

@@ -12,8 +12,9 @@ import (
 
 func TestHostMismatch(t *testing.T) {
 	base := BenchReport{
-		Schema: BenchSchema, GoMaxProcs: 8, NumCPU: 8,
-		GoVersion: runtime.Version(), GOOS: "linux", GOARCH: "amd64", Threads: 0,
+		Schema: BenchSchema,
+		HostStamp: HostStamp{GoMaxProcs: 8, NumCPU: 8,
+			GoVersion: runtime.Version(), GOOS: "linux", GOARCH: "amd64", Threads: 0},
 	}
 	if lines := base.HostMismatch(base); len(lines) != 0 {
 		t.Errorf("identical hosts flagged: %v", lines)
@@ -37,8 +38,9 @@ func TestHostMismatch(t *testing.T) {
 func TestBenchReportJSONRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	rep := BenchReport{
-		Schema: BenchSchema, GoMaxProcs: 2, NumCPU: 4,
-		GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+		Schema: BenchSchema,
+		HostStamp: HostStamp{GoMaxProcs: 2, NumCPU: 4,
+			GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64"},
 		Records: []BenchRecord{{
 			Algorithm: "thrifty", Dataset: "rmat-medium", Vertices: 10, Edges: 20,
 			Iterations: 3, NsPerRun: 1000, EdgesPerSec: 2e7, Reps: 3,

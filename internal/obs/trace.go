@@ -30,8 +30,9 @@ type TraceRecord struct {
 	// (e.g. thriftycc -reps 3 emits runs 0, 1, 2).
 	Run  int `json:"run"`
 	Iter int `json:"iter"`
-	// Kind is the traversal direction chosen: "pull", "push",
-	// "pull-frontier" or "initial-push".
+	// Kind is the traversal direction chosen ("pull", "push",
+	// "pull-frontier", "initial-push") or "ingest" for a graph-loading
+	// record.
 	Kind        string  `json:"kind"`
 	Active      int64   `json:"active"`
 	ActiveEdges int64   `json:"active_edges"`
@@ -41,6 +42,11 @@ type TraceRecord struct {
 	Density     float64 `json:"density"`
 	Threshold   float64 `json:"threshold"`
 	DurationNs  int64   `json:"duration_ns"`
+	// LoadNs and BuildNs split an "ingest" record's duration into the
+	// read+parse and CSR-construction phases. Additive fields: zero (and
+	// omitted) on iteration records, so the schema id is unchanged.
+	LoadNs  int64 `json:"load_ns,omitempty"`
+	BuildNs int64 `json:"build_ns,omitempty"`
 }
 
 // traceFromIteration converts one iteration's stats to its external form.
@@ -109,6 +115,20 @@ func (t *TraceWriter) WriteRun(algo, dataset string, run int, iters []cc.Iterati
 		}
 	}
 	return nil
+}
+
+// WriteIngest appends one graph-ingestion record: Kind "ingest", with the
+// load/build phase split in LoadNs/BuildNs and their sum in DurationNs.
+func (t *TraceWriter) WriteIngest(dataset string, loadNs, buildNs int64) error {
+	return t.Write(TraceRecord{
+		Schema:     TraceSchema,
+		Algo:       "ingest",
+		Dataset:    dataset,
+		Kind:       "ingest",
+		LoadNs:     loadNs,
+		BuildNs:    buildNs,
+		DurationNs: loadNs + buildNs,
+	})
 }
 
 // Close flushes buffered records and closes the underlying file when the

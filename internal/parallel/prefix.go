@@ -1,0 +1,45 @@
+package parallel
+
+// prefixSeqCutoff is the size below which a sequential scan beats the
+// three-phase blocked scan (two extra full passes plus two pool barriers).
+const prefixSeqCutoff = 1 << 14
+
+// PrefixSum replaces xs with its inclusive prefix sum in place:
+// xs[i] = xs[0] + ... + xs[i]. Large inputs use the blocked three-phase
+// parallel scan (per-block sums, a sequential scan over the block totals,
+// then a carry-in scan per block); small inputs scan sequentially.
+//
+// This is the offsets-construction step of every CSR (re)build: degree
+// counts at index v+1 turn into segment start offsets.
+func PrefixSum(pool *Pool, xs []int64) {
+	n := len(xs)
+	threads := pool.Threads()
+	if threads == 1 || n < prefixSeqCutoff {
+		for i := 1; i < n; i++ {
+			xs[i] += xs[i-1]
+		}
+		return
+	}
+	parts := PartitionVertices(n, threads)
+	totals := make([]int64, threads)
+	pool.MustRun(func(tid int) {
+		var s int64
+		for _, v := range xs[parts[tid].Lo:parts[tid].Hi] {
+			s += v
+		}
+		totals[tid] = s
+	})
+	var carry int64
+	for t := 0; t < threads; t++ {
+		s := totals[t]
+		totals[t] = carry
+		carry += s
+	}
+	pool.MustRun(func(tid int) {
+		run := totals[tid]
+		for i := parts[tid].Lo; i < parts[tid].Hi; i++ {
+			run += xs[i]
+			xs[i] = run
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPrefixSumMatchesSequential(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 100, prefixSeqCutoff - 1, prefixSeqCutoff, prefixSeqCutoff + 1, 1 << 16} {
+		xs := make([]int64, n)
+		want := make([]int64, n)
+		var run int64
+		for i := range xs {
+			xs[i] = int64(rng.Intn(1000)) - 200
+			run += xs[i]
+			want[i] = run
+		}
+		PrefixSum(pool, xs)
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d: PrefixSum[%d] = %d, want %d", n, i, xs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPrefixSumSingleThreadPool(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	xs := []int64{3, -1, 4, 1, 5}
+	PrefixSum(pool, xs)
+	want := []int64{3, 2, 6, 7, 12}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("PrefixSum[%d] = %d, want %d", i, xs[i], want[i])
+		}
+	}
+}
