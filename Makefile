@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json verify experiments clean
+.PHONY: all build test lint check race cover bench bench-json verify experiments clean
 
-all: build test
+all: check
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,15 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Run the thriftyvet analyzer suite (hotpath, benignrace, padded, errfreeze,
+# cancelpoint) over the whole module through the go vet driver; see
+# DESIGN.md §12 for the annotation grammar.
+lint:
+	$(GO) build -o bin/thriftyvet ./cmd/thriftyvet
+	$(GO) vet -vettool=$(CURDIR)/bin/thriftyvet ./...
+
+check: build test lint
 
 race:
 	GOMAXPROCS=4 $(GO) test -race ./...

@@ -1,0 +1,125 @@
+// Command thriftyvet is the repository's custom vet multichecker: five
+// go/analysis-style analyzers that mechanically enforce invariants DESIGN.md
+// could previously only state in prose (§12):
+//
+//	hotpath     //thrifty:hotpath kernels stay allocation-free
+//	benignrace  plain shared writes in workers carry //thrifty:benign-race;
+//	            atomics route through internal/atomicx
+//	padded      //thrifty:padded structs stay cache-line padded
+//	errfreeze   graph error strings match the frozen list
+//	cancelpoint exported kernels thread and reach Config.cancelPoint
+//
+// It speaks two protocols:
+//
+//	go vet -vettool=$(go env GOBIN)/thriftyvet ./...   # unitchecker mode
+//	thriftyvet ./...                                   # standalone mode
+//
+// `make lint` builds it and runs the vettool form over the module. Exit
+// status: 0 clean, 1 operational error, 2 diagnostics reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"thriftylp/internal/lint/analysis"
+	"thriftylp/internal/lint/benignrace"
+	"thriftylp/internal/lint/cancelpoint"
+	"thriftylp/internal/lint/driver"
+	"thriftylp/internal/lint/errfreeze"
+	"thriftylp/internal/lint/hotpath"
+	"thriftylp/internal/lint/padded"
+)
+
+// suite is the full analyzer set, in the order diagnostics are attributed.
+var suite = []*analysis.Analyzer{
+	hotpath.Analyzer,
+	benignrace.Analyzer,
+	padded.Analyzer,
+	errfreeze.Analyzer,
+	cancelpoint.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("thriftyvet", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (-V=full)")
+	flagsFlag := fs.Bool("flags", false, "print flag descriptions in JSON and exit")
+	enabled := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		enabled[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (and any others explicitly enabled)")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	switch {
+	case *versionFlag != "":
+		if err := driver.PrintVersion(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case *flagsFlag:
+		driver.PrintFlags(os.Stdout, suite)
+		return 0
+	}
+
+	analyzers := selected(fs, enabled)
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		// go vet -vettool protocol: analyze the one package the config
+		// describes.
+		return driver.RunUnitchecker(rest[0], analyzers)
+	}
+
+	// Standalone mode over package patterns.
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	pkgs, err := driver.Load(rest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := driver.Analyze(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// selected applies the x/tools multichecker convention: naming any analyzer
+// flag runs only the named ones; otherwise the whole suite runs.
+func selected(fs *flag.FlagSet, enabled map[string]*bool) []*analysis.Analyzer {
+	any := false
+	for _, v := range enabled {
+		if *v {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return suite
+	}
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

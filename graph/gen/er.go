@@ -28,7 +28,7 @@ func ErdosRenyiEdges(n int, m int, seed uint64) ([]graph.Edge, error) {
 				hi = m
 			}
 			for i := lo; i < hi; i++ {
-				edges[i] = graph.Edge{U: r.uint32n(uint32(n)), V: r.uint32n(uint32(n))}
+				edges[i] = graph.Edge{U: r.uint32n(uint32(n)), V: r.uint32n(uint32(n))} //thrifty:benign-race workers fill disjoint chunks of edges
 			}
 		}
 	})

@@ -90,7 +90,7 @@ func RMATEdges(cfg RMATConfig) ([]graph.Edge, error) {
 			}
 			for i := lo; i < hi; i++ {
 				e := rmatEdge(r, cfg)
-				edges[i] = graph.Edge{U: perm(e.U), V: perm(e.V)}
+				edges[i] = graph.Edge{U: perm(e.U), V: perm(e.V)} //thrifty:benign-race workers fill disjoint chunks of edges
 			}
 		}
 	})

@@ -13,7 +13,7 @@ package graph
 
 import (
 	"fmt"
-	"sync/atomic"
+	"thriftylp/internal/atomicx"
 
 	"thriftylp/internal/parallel"
 )
@@ -71,12 +71,16 @@ func (g *Graph) NumDirectedEdges() int64 { return int64(len(g.adj)) }
 func (g *Graph) NumEdges() int64 { return (int64(len(g.adj)) + 1) / 2 }
 
 // Degree returns the number of adjacency slots of v.
+//
+//thrifty:hotpath
 func (g *Graph) Degree(v uint32) int {
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
 // Neighbors returns v's adjacency list. The returned slice aliases the
 // graph's storage and must not be modified.
+//
+//thrifty:hotpath
 func (g *Graph) Neighbors(v uint32) []uint32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
@@ -186,7 +190,7 @@ func (g *Graph) validateStructure(pool *parallel.Pool) error {
 	if g.offsets[n] != int64(len(g.adj)) {
 		return fmt.Errorf("graph: offsets[%d] = %d, want len(adj) = %d", n, g.offsets[n], len(g.adj))
 	}
-	var anyBad atomic.Bool
+	var anyBad atomicx.Bool
 	parallel.For(pool, len(g.adj), 1<<16, func(_, lo, hi int) {
 		for _, u := range g.adj[lo:hi] {
 			if int(u) >= n {

@@ -178,6 +178,7 @@ func parseEdgeList(data []byte, pool *parallel.Pool) ([]Edge, error) {
 	shardErrs := make([]*parseError, len(chunks))
 	parallel.For(pool, len(chunks), 1, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
+			//thrifty:benign-race per-shard result slots; each worker owns a disjoint index range
 			shardEdges[i], shardErrs[i] = parseEdgeChunk(chunks[i], make([]Edge, 0, edgeCapFor(len(chunks[i]))))
 		}
 	})

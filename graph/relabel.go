@@ -38,7 +38,7 @@ func Relabel(g *Graph, perm []uint32) (*Graph, error) {
 	offsets := make([]int64, n+1)
 	parallel.For(pool, n, 1<<15, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
-			offsets[perm[v]+1] = int64(g.Degree(uint32(v)))
+			offsets[perm[v]+1] = int64(g.Degree(uint32(v))) //thrifty:benign-race perm is a bijection, so scattered writes are disjoint
 		}
 	})
 	parallel.PrefixSum(pool, offsets)
@@ -47,7 +47,7 @@ func Relabel(g *Graph, perm []uint32) (*Graph, error) {
 		for v := lo; v < hi; v++ {
 			w := offsets[perm[v]]
 			for _, u := range g.Neighbors(uint32(v)) {
-				adj[w] = perm[u]
+				adj[w] = perm[u] //thrifty:benign-race perm is a bijection, so each segment copy is exclusive
 				w++
 			}
 		}

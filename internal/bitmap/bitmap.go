@@ -7,7 +7,7 @@ package bitmap
 
 import (
 	"math/bits"
-	"sync/atomic"
+	"thriftylp/internal/atomicx"
 )
 
 const wordBits = 64
@@ -30,12 +30,18 @@ func New(n int) *Bitmap {
 func (b *Bitmap) Len() int { return b.n }
 
 // Set sets bit i. Not safe for concurrent use; see SetAtomic.
+//
+//thrifty:hotpath
 func (b *Bitmap) Set(i int) { b.words[i/wordBits] |= 1 << (uint(i) % wordBits) }
 
 // Clear clears bit i.
+//
+//thrifty:hotpath
 func (b *Bitmap) Clear(i int) { b.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
 
 // Get reports whether bit i is set.
+//
+//thrifty:hotpath
 func (b *Bitmap) Get(i int) bool {
 	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
 }
@@ -43,23 +49,27 @@ func (b *Bitmap) Get(i int) bool {
 // SetAtomic sets bit i with an atomic read-modify-write and reports whether
 // this call changed the bit (false if it was already set). It is safe for
 // concurrent use with other SetAtomic/GetAtomic calls.
+//
+//thrifty:hotpath
 func (b *Bitmap) SetAtomic(i int) bool {
 	w := &b.words[i/wordBits]
 	mask := uint64(1) << (uint(i) % wordBits)
 	for {
-		old := atomic.LoadUint64(w)
+		old := atomicx.LoadUint64(w)
 		if old&mask != 0 {
 			return false
 		}
-		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+		if atomicx.CASUint64(w, old, old|mask) {
 			return true
 		}
 	}
 }
 
 // GetAtomic reports whether bit i is set, with an atomic load.
+//
+//thrifty:hotpath
 func (b *Bitmap) GetAtomic(i int) bool {
-	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
+	return atomicx.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
 }
 
 // Reset clears all bits. Not safe for concurrent use.

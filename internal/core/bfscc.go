@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"thriftylp/graph"
 	"thriftylp/internal/atomicx"
 	"thriftylp/internal/bitmap"
@@ -114,8 +112,8 @@ func bfsFrom(g *graph.Graph, cfg Config, pool *parallel.Pool, comp []uint32, s u
 						}
 					}
 					ck.flush(cfg.Ctr, tid)
-					atomic.AddInt64(&claimed, lv)
-					atomic.AddInt64(&claimedEdges, le)
+					atomicx.AddInt64(&claimed, lv)
+					atomicx.AddInt64(&claimedEdges, le)
 				})
 				front, nextBm = nextBm, front
 				nf = int(claimed)
@@ -173,9 +171,9 @@ func bfsFrom(g *graph.Graph, cfg Config, pool *parallel.Pool, comp []uint32, s u
 						}
 					}
 				}
-				partial[tid] = buf
+				partial[tid] = buf //thrifty:benign-race per-thread frontier buffer indexed by tid
 				ck.flush(cfg.Ctr, tid)
-				atomic.AddInt64(&nextEdges, le)
+				atomicx.AddInt64(&nextEdges, le)
 			})
 			for _, p := range partial {
 				next = append(next, p...)

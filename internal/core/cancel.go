@@ -1,6 +1,6 @@
 package core
 
-import "sync/atomic"
+import "thriftylp/internal/atomicx"
 
 // Stop is a cooperative cancellation flag shared between a run's master
 // goroutine and its workers. The caller (cc.RunContext) arms it from a
@@ -18,10 +18,10 @@ type Stop struct {
 }
 
 // Request asks the run to stop at its next cancellation point.
-func (s *Stop) Request() { atomic.StoreUint32(&s.f, 1) }
+func (s *Stop) Request() { atomicx.StoreUint32(&s.f, 1) }
 
 // Requested reports whether Request has been called. Safe on a nil receiver.
-func (s *Stop) Requested() bool { return s != nil && atomic.LoadUint32(&s.f) != 0 }
+func (s *Stop) Requested() bool { return s != nil && atomicx.LoadUint32(&s.f) != 0 }
 
 // Phase names for Result.Phase diagnostics of the non-LP kernels. The LP
 // kernels reuse the counters.IterKind strings ("initial-push", "pull",

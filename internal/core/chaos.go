@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync/atomic"
+	"thriftylp/internal/atomicx"
 	"time"
 )
 
@@ -34,7 +34,7 @@ type FaultPlan struct {
 	// capture and pool drain from deep inside a parallel region.
 	PanicAt uint64
 
-	events atomic.Uint64 // global hook-event count, shared by all workers
+	events atomicx.Uint64 // global hook-event count, shared by all workers
 }
 
 // Events returns the number of hook events observed so far. Useful for

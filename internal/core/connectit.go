@@ -109,7 +109,7 @@ func ConnectItBFS(g *graph.Graph, cfg Config) Result {
 	parallel.For(pool, n, 4096, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if scratch[v] == hub {
-				comp[v] = hub
+				comp[v] = hub //thrifty:benign-race workers own disjoint vertex ranges of comp
 			}
 		}
 	})

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync/atomic"
 	"time"
 
 	"thriftylp/graph"
@@ -34,8 +33,8 @@ func (f *frontierState) recount(pool *parallel.Pool, g *graph.Graph) {
 				e += int64(g.Degree(uint32(i)))
 			}
 		}
-		atomic.AddInt64(&av, v)
-		atomic.AddInt64(&ae, e)
+		atomicx.AddInt64(&av, v)
+		atomicx.AddInt64(&ae, e)
 	})
 	f.activeV, f.activeE = av, ae
 }
@@ -62,7 +61,7 @@ func (f *frontierState) extract(pool *parallel.Pool) []uint32 {
 				buf = append(buf, uint32(i))
 			}
 		}
-		partial[tid] = buf
+		partial[tid] = buf //thrifty:benign-race per-thread collection buffer indexed by tid
 	})
 	out := make([]uint32, 0, f.activeV)
 	for _, p := range partial {
@@ -214,7 +213,7 @@ func dolpPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, oldLbs, newLbs []
 			}
 		}
 		iFlush(ins, tid)
-		atomic.AddInt64(&changed, local)
+		atomicx.AddInt64(&changed, local)
 	})
 	return changed
 }
@@ -254,7 +253,7 @@ func dolpPull[I instr[I]](g *graph.Graph, sch *scheduler, oldLbs, newLbs []uint3
 			}
 		}
 		iFlush(ins, tid)
-		atomic.AddInt64(&changed, local)
+		atomicx.AddInt64(&changed, local)
 	})
 	return changed
 }

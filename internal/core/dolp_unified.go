@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync/atomic"
 	"time"
 
 	"thriftylp/graph"
@@ -138,7 +137,7 @@ func dolpUnifiedPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []u
 			}
 		}
 		iFlush(ins, tid)
-		atomic.AddInt64(&changed, local)
+		atomicx.AddInt64(&changed, local)
 	})
 	return changed
 }
@@ -179,7 +178,7 @@ func dolpUnifiedPull[I instr[I]](g *graph.Graph, sch *scheduler, labels []uint32
 			}
 		}
 		iFlush(ins, tid)
-		atomic.AddInt64(&changed, local)
+		atomicx.AddInt64(&changed, local)
 	})
 	return changed
 }

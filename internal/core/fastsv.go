@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"thriftylp/graph"
 	"thriftylp/internal/atomicx"
 	"thriftylp/internal/parallel"
@@ -65,7 +63,7 @@ func FastSV(g *graph.Graph, cfg Config) Result {
 				}
 			}
 			ck.flush(cfg.Ctr, tid)
-			atomic.AddInt64(&changed, local)
+			atomicx.AddInt64(&changed, local)
 		})
 		// Shortcutting.
 		parallel.For(pool, n, 2048, func(tid, lo, hi int) {
@@ -81,13 +79,13 @@ func FastSV(g *graph.Graph, cfg Config) Result {
 				}
 			}
 			ck.flush(cfg.Ctr, tid)
-			atomic.AddInt64(&changed, local)
+			atomicx.AddInt64(&changed, local)
 		})
 		// Recompute grandparents for the next iteration.
 		parallel.For(pool, n, 2048, func(tid, lo, hi int) {
 			var ck chunkCounts
 			for u := lo; u < hi; u++ {
-				gp[u] = f[f[u]]
+				gp[u] = f[f[u]] //thrifty:benign-race workers own disjoint vertex ranges of gp; stale f reads are FastSV-tolerated
 				ck.loads += 2
 				ck.stores++
 			}

@@ -35,7 +35,7 @@ func JayantiTarjan(g *graph.Graph, cfg Config) Result {
 			z := uint64(v) + 0x9e3779b97f4a7c15
 			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-			prio[v] = z ^ (z >> 31)
+			prio[v] = z ^ (z >> 31) //thrifty:benign-race workers own disjoint vertex ranges of prio
 		}
 	})
 	higher := func(a, b uint32) bool {

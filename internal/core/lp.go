@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sync/atomic"
+	"thriftylp/internal/atomicx"
 	"time"
 
 	"thriftylp/graph"
@@ -116,7 +116,7 @@ func lpSweep[I instr[I]](g *graph.Graph, sch *scheduler, oldLbs, newLbs []uint32
 		}
 		iFlush(ins, tid)
 		if local > 0 {
-			atomic.AddInt64(&changed, local)
+			atomicx.AddInt64(&changed, local)
 		}
 	})
 	return changed

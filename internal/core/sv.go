@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"thriftylp/graph"
 	"thriftylp/internal/atomicx"
 	"thriftylp/internal/parallel"
@@ -54,7 +52,7 @@ func ShiloachVishkin(g *graph.Graph, cfg Config) Result {
 				}
 			}
 			ck.flush(cfg.Ctr, tid)
-			atomic.AddInt64(&changed, local)
+			atomicx.AddInt64(&changed, local)
 		})
 		// Shortcut pass: full pointer jumping collapses every tree to a
 		// star so the next hook pass compares roots directly.

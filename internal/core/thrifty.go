@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync/atomic"
 	"time"
 
 	"thriftylp/graph"
@@ -272,8 +271,8 @@ func thriftyPush[I instr[I]](g *graph.Graph, pool *parallel.Pool, labels []uint3
 			}
 		})
 		iFlush(ins, tid)
-		atomic.AddInt64(&av, localV)
-		atomic.AddInt64(&ae, localE)
+		atomicx.AddInt64(&av, localV)
+		atomicx.AddInt64(&ae, localE)
 	}
 	if work >= 0 && work < pushSeqCutoff {
 		body(0)
@@ -335,8 +334,8 @@ func thriftyPull[I instr[I]](g *graph.Graph, sch *scheduler, labels []uint32, fr
 			}
 		}
 		iFlush(ins, tid)
-		atomic.AddInt64(&av, localV)
-		atomic.AddInt64(&ae, localE)
+		atomicx.AddInt64(&av, localV)
+		atomicx.AddInt64(&ae, localE)
 	})
 	return av, ae
 }

@@ -14,7 +14,7 @@
 // work elimination is exactly what these software counts measure.
 package counters
 
-import "sync/atomic"
+import "thriftylp/internal/atomicx"
 
 // Event identifies one counted event class.
 type Event int
@@ -112,7 +112,7 @@ func (c *Counters) Add(tid int, e Event, n int64) {
 	if tid >= len(c.slots) || tid < 0 {
 		tid = 0
 	}
-	atomic.AddInt64(&c.slots[tid].v[e], n)
+	atomicx.AddInt64(&c.slots[tid].v[e], n)
 }
 
 // Total returns the sum of event e across all threads.
@@ -122,7 +122,7 @@ func (c *Counters) Total(e Event) int64 {
 	}
 	var t int64
 	for i := range c.slots {
-		t += atomic.LoadInt64(&c.slots[i].v[e])
+		t += atomicx.LoadInt64(&c.slots[i].v[e])
 	}
 	return t
 }
@@ -146,7 +146,7 @@ func (c *Counters) Reset() {
 	}
 	for i := range c.slots {
 		for e := range c.slots[i].v {
-			atomic.StoreInt64(&c.slots[i].v[e], 0)
+			atomicx.StoreInt64(&c.slots[i].v[e], 0)
 		}
 	}
 }

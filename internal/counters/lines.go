@@ -2,7 +2,7 @@ package counters
 
 import (
 	"math/bits"
-	"sync/atomic"
+	"thriftylp/internal/atomicx"
 )
 
 // labelsPerLine is how many 4-byte labels fit a 64-byte cache line; vertex v
@@ -40,15 +40,15 @@ func (lt *LineTracker) Touch(v uint32) {
 	mask := uint64(1) << (uint(line) % 64)
 	// A plain atomic OR via load-check-CAS; the check skips the CAS on the
 	// overwhelmingly common already-set path.
-	if atomic.LoadUint64(w)&mask != 0 {
+	if atomicx.LoadUint64(w)&mask != 0 {
 		return
 	}
 	for {
-		old := atomic.LoadUint64(w)
+		old := atomicx.LoadUint64(w)
 		if old&mask != 0 {
 			return
 		}
-		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+		if atomicx.CASUint64(w, old, old|mask) {
 			return
 		}
 	}
@@ -63,10 +63,10 @@ func (lt *LineTracker) FlushIteration(c *Counters, tid int) {
 	}
 	var n int64
 	for i := range lt.words {
-		w := atomic.LoadUint64(&lt.words[i])
+		w := atomicx.LoadUint64(&lt.words[i])
 		if w != 0 {
 			n += int64(bits.OnesCount64(w))
-			atomic.StoreUint64(&lt.words[i], 0)
+			atomicx.StoreUint64(&lt.words[i], 0)
 		}
 	}
 	c.Add(tid, CacheLines, n)

@@ -1,0 +1,67 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis, providing the Analyzer/Pass/Diagnostic
+// vocabulary the thriftyvet analyzers are written against.
+//
+// The repository builds offline with a dependency-free go.mod, so the real
+// x/tools module is deliberately not imported; this shim mirrors the fields
+// and semantics of the upstream API closely enough that the analyzers (and
+// their fixtures) could be moved onto x/tools unchanged if the dependency
+// ever becomes available. Only the features the thriftyvet suite needs are
+// implemented: syntax + type information, diagnostics, and type sizes.
+// Facts, SSA, and inter-analyzer results are intentionally absent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check. Name must be a valid identifier; it is
+// the diagnostic prefix and the -<name>=false disable flag of thriftyvet.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report/Reportf and returns an optional result (unused here, kept
+	// for upstream signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with the syntax trees and type information
+// of a single package, and receives its diagnostics.
+type Pass struct {
+	// Analyzer is the analyzer being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the parsed syntax trees of the package, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's expression/object maps.
+	TypesInfo *types.Info
+	// TypesSizes describes the target architecture's size/alignment model.
+	TypesSizes types.Sizes
+	// Report delivers one diagnostic. The driver sets it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, tied to a position in the package source.
+type Diagnostic struct {
+	// Pos is where the problem is.
+	Pos token.Pos
+	// Message states the problem. By upstream convention it is not
+	// capitalized and has no trailing period.
+	Message string
+}

@@ -1,0 +1,12 @@
+package benignrace_test
+
+import (
+	"testing"
+
+	"thriftylp/internal/lint/benignrace"
+	"thriftylp/internal/lint/linttest"
+)
+
+func TestBenignRace(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), benignrace.Analyzer, "benignrace", "atomicx")
+}

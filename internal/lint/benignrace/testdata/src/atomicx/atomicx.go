@@ -1,0 +1,7 @@
+// Package atomicx is a fixture stand-in for thriftylp/internal/atomicx,
+// the one package allowed to import sync/atomic.
+package atomicx
+
+import "sync/atomic"
+
+func LoadInt64(p *int64) int64 { return atomic.LoadInt64(p) }

@@ -1,0 +1,7 @@
+package benignrace
+
+import "sync/atomic" // want `import of sync/atomic outside internal/atomicx`
+
+var counter int64
+
+func bump() { atomic.AddInt64(&counter, 1) }

@@ -1,0 +1,77 @@
+// Fixture for the benignrace worker-write rule: plain writes to captured
+// state inside parallel workers, with and without annotation coverage.
+package benignrace
+
+import "parallel"
+
+func unannotated(pool *parallel.Pool, dst []int) {
+	pool.MustRun(func(tid int) {
+		dst[tid] = 1 // want `plain write to captured dst`
+		dst[tid]++   // want `plain write to captured dst`
+	})
+}
+
+func unannotatedFor(pool *parallel.Pool, dst []int) {
+	parallel.For(pool, len(dst), 0, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = i // want `plain write to captured dst`
+		}
+	})
+}
+
+func byName(pool *parallel.Pool, dst []int) {
+	body := func(tid int) {
+		dst[tid] = 1 // want `plain write to captured dst`
+	}
+	pool.MustRun(body)
+}
+
+func annotatedTrailing(pool *parallel.Pool, dst []int) {
+	pool.MustRun(func(tid int) {
+		dst[tid] = 1 //thrifty:benign-race per-thread slot indexed by tid
+	})
+}
+
+func annotatedAbove(pool *parallel.Pool, dst []int) {
+	pool.MustRun(func(tid int) {
+		//thrifty:benign-race per-thread slot indexed by tid
+		dst[tid] = 1
+	})
+}
+
+// annotatedDoc carries a blanket annotation covering every write in its
+// workers.
+//
+//thrifty:benign-race workers own disjoint ranges of dst
+func annotatedDoc(pool *parallel.Pool, dst []int) {
+	pool.MustRun(func(tid int) {
+		dst[tid] = 1
+		dst[tid+1] = 2
+	})
+}
+
+// bareAnnotation omits the mandatory reason, so it does not cover.
+func bareAnnotation(pool *parallel.Pool, dst []int) {
+	pool.MustRun(func(tid int) {
+		//thrifty:benign-race
+		dst[tid] = 1 // want `plain write to captured dst`
+	})
+}
+
+// workerLocal writes only to state declared inside the worker (and to its
+// own parameters): nothing to report.
+func workerLocal(pool *parallel.Pool, src []int) {
+	pool.MustRun(func(tid int) {
+		local := [8]int{}
+		for i := range local {
+			local[i] = src[i%len(src)]
+		}
+	})
+}
+
+// notAWorker passes its closure nowhere near the parallel runtime: plain
+// writes through it are single-threaded and stay silent.
+func notAWorker(dst []int) {
+	fn := func(tid int) { dst[tid] = 1 }
+	fn(0)
+}

@@ -1,0 +1,20 @@
+// Package parallel is a fixture stand-in for thriftylp/internal/parallel:
+// same shapes, sequential execution. The benignrace analyzer recognizes it
+// by package name.
+package parallel
+
+type Pool struct{ threads int }
+
+func Default() *Pool { return &Pool{threads: 4} }
+
+func (p *Pool) Threads() int { return p.threads }
+
+func (p *Pool) MustRun(body func(tid int)) {
+	for t := 0; t < p.threads; t++ {
+		body(t)
+	}
+}
+
+func For(pool *Pool, n, grain int, body func(tid, lo, hi int)) {
+	body(0, 0, n)
+}

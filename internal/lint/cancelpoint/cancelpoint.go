@@ -1,0 +1,136 @@
+// Package cancelpoint implements the thriftyvet analyzer that keeps every
+// kernel cancellable.
+//
+// The hardened execution layer (DESIGN.md §9) threads a cooperative Stop
+// flag through every connected-components kernel: cc.RunContext arms it from
+// a context, and the kernel polls Config.cancelPoint at iteration
+// boundaries so a cancelled run returns a partial Result instead of spinning
+// to convergence. A new kernel that forgets the call compiles, passes its
+// correctness tests, and silently breaks RunContext's latency contract.
+//
+// The analyzer therefore requires: every exported function in internal/core
+// that takes a Config parameter (the kernel-entry signature) must reach a
+// call to Config.cancelPoint through the package-local static call graph —
+// directly, or via unexported helpers such as generic kernel bodies.
+// Placement at iteration boundaries (rather than per edge) is a performance
+// property the benchmarks guard; reachability is the correctness property
+// this check mechanizes.
+package cancelpoint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"thriftylp/internal/lint/analysis"
+	"thriftylp/internal/lint/directive"
+	"thriftylp/internal/lint/lintutil"
+)
+
+// corePath is the kernel package the invariant applies to.
+const corePath = "thriftylp/internal/core"
+
+// cancelFunc is the method every kernel entry must reach.
+const cancelFunc = "cancelPoint"
+
+// Analyzer is the cancelpoint analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "cancelpoint",
+	Doc:  "require exported kernels taking a core.Config to reach a Config.cancelPoint call",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PkgPathMatches(pass.Pkg.Path(), corePath) {
+		return nil, nil
+	}
+
+	// Map every package-level function object to its declaration, then walk
+	// the static, package-local call graph from each kernel entry.
+	decls := map[types.Object]*ast.FuncDecl{}
+	var kernels []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if lintutil.InGOROOT(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if fd.Name.IsExported() && !lintutil.IsTestFile(pass.Fset, fd.Pos()) &&
+				fd.Recv == nil && takesConfig(pass, fd) {
+				kernels = append(kernels, fd)
+			}
+		}
+	}
+
+	for _, k := range kernels {
+		if _, exempt := directive.FromDoc(k.Doc, "nocancel"); exempt {
+			continue
+		}
+		if !reaches(pass, decls, k, map[*ast.FuncDecl]bool{}) {
+			pass.Reportf(k.Pos(), "exported kernel %s takes a Config but never reaches cfg.cancelPoint: cancellation via cc.RunContext would hang until convergence", k.Name.Name)
+		}
+	}
+	return nil, nil
+}
+
+// takesConfig reports whether the function has a parameter whose type is the
+// package's Config struct (the kernel-entry signature).
+func takesConfig(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if named.Obj().Name() == "Config" && named.Obj().Pkg() == pass.Pkg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reaches reports whether fd's body — or the body of any same-package
+// function it statically calls — contains a call to the cancelPoint method.
+func reaches(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, fd *ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool {
+	if seen[fd] {
+		return false
+	}
+	seen[fd] = true
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Name() == cancelFunc && fn.Pkg() == pass.Pkg {
+			found = true
+			return false
+		}
+		if fn.Pkg() == pass.Pkg {
+			if callee, ok := decls[fn.Origin()]; ok && reaches(pass, decls, callee, seen) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package cancelpoint_test
+
+import (
+	"testing"
+
+	"thriftylp/internal/lint/cancelpoint"
+	"thriftylp/internal/lint/linttest"
+)
+
+func TestCancelpoint(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), cancelpoint.Analyzer, "core")
+}

@@ -1,0 +1,102 @@
+// Package directive parses the //thrifty: comment grammar the thriftyvet
+// analyzers enforce (DESIGN.md §12):
+//
+//	//thrifty:hotpath
+//	//thrifty:benign-race <reason>
+//	//thrifty:padded
+//
+// A directive is a single line comment whose text starts exactly with
+// "thrifty:" (no space after //, like //go: directives, so gofmt leaves it
+// alone). hotpath and padded annotate declarations through their doc
+// comments; benign-race annotates either a whole function (doc comment) or
+// an individual statement (a comment on the statement's line or the line
+// directly above it) and requires a non-empty reason.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// prefix is the comment marker introducing every thrifty directive.
+const prefix = "//thrifty:"
+
+// Hotpath, BenignRace and Padded name the recognized directives.
+const (
+	Hotpath    = "hotpath"
+	BenignRace = "benign-race"
+	Padded     = "padded"
+)
+
+// parse splits one comment into (directive name, argument). ok is false for
+// ordinary comments.
+func parse(text string) (name, arg string, ok bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	name, arg, _ = strings.Cut(rest, " ")
+	return name, strings.TrimSpace(arg), name != ""
+}
+
+// FromDoc reports whether the doc comment group carries the named directive,
+// returning its argument.
+func FromDoc(doc *ast.CommentGroup, name string) (arg string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if n, a, isDir := parse(c.Text); isDir && n == name {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// A Line is one directive occurrence resolved to a file position.
+type Line struct {
+	Name string
+	Arg  string
+	Pos  token.Pos
+	// Line is the source line the comment starts on.
+	Line int
+}
+
+// FileLines collects every thrifty directive in the file, keyed by nothing —
+// callers filter by Name and match lines. The returned slice is in source
+// order.
+func FileLines(fset *token.FileSet, f *ast.File) []Line {
+	var out []Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if n, a, ok := parse(c.Text); ok {
+				out = append(out, Line{
+					Name: n,
+					Arg:  a,
+					Pos:  c.Pos(),
+					Line: fset.Position(c.Pos()).Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Covers reports whether a directive named name with a non-empty-or-not
+// argument (per requireArg) covers source line targetLine: the directive
+// sits on the same line (trailing comment) or on the line immediately above.
+func Covers(lines []Line, name string, targetLine int, requireArg bool) bool {
+	for _, l := range lines {
+		if l.Name != name {
+			continue
+		}
+		if requireArg && l.Arg == "" {
+			continue
+		}
+		if l.Line == targetLine || l.Line == targetLine-1 {
+			return true
+		}
+	}
+	return false
+}

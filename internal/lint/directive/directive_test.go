@@ -1,0 +1,81 @@
+package directive
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		arg  string
+		ok   bool
+	}{
+		{"//thrifty:hotpath", "hotpath", "", true},
+		{"//thrifty:benign-race disjoint index ranges", "benign-race", "disjoint index ranges", true},
+		{"//thrifty:benign-race", "benign-race", "", true},
+		{"//thrifty:padded", "padded", "", true},
+		{"// thrifty:hotpath", "", "", false}, // space after // is an ordinary comment
+		{"//go:noinline", "", "", false},
+		{"// plain comment", "", "", false},
+		{"//thrifty:", "", "", false}, // empty directive name
+	}
+	for _, c := range cases {
+		name, arg, ok := parse(c.text)
+		if name != c.name || arg != c.arg || ok != c.ok {
+			t.Errorf("parse(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, arg, ok, c.name, c.arg, c.ok)
+		}
+	}
+}
+
+const coversSrc = `package p
+
+func f(xs []int) {
+	xs[0] = 1 //thrifty:benign-race trailing with reason
+	//thrifty:benign-race covering the line below
+	xs[1] = 2
+	xs[2] = 3
+	//thrifty:benign-race
+	xs[3] = 4
+	//thrifty:hotpath
+	xs[4] = 5
+}
+`
+
+func TestFileLinesAndCovers(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", coversSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := FileLines(fset, f)
+	if len(lines) != 4 {
+		t.Fatalf("FileLines found %d directives, want 4: %+v", len(lines), lines)
+	}
+
+	cases := []struct {
+		line       int
+		requireArg bool
+		want       bool
+		what       string
+	}{
+		{4, true, true, "trailing same-line directive"},
+		{6, true, true, "directive on the line above"},
+		{7, true, false, "no directive in range"},
+		{9, true, false, "bare directive with requireArg"},
+		{9, false, true, "bare directive without requireArg"},
+		{11, true, false, "wrong directive name"},
+	}
+	for _, c := range cases {
+		if got := Covers(lines, BenignRace, c.line, c.requireArg); got != c.want {
+			t.Errorf("Covers(benign-race, line %d, requireArg=%v) = %v, want %v (%s)",
+				c.line, c.requireArg, got, c.want, c.what)
+		}
+	}
+	if !Covers(lines, Hotpath, 11, false) {
+		t.Error("Covers(hotpath, line 11) = false, want true")
+	}
+}

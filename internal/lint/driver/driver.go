@@ -1,0 +1,294 @@
+// Package driver loads type-checked packages and applies thriftyvet
+// analyzers to them. It stands in for golang.org/x/tools/go/packages +
+// go/analysis/unitchecker, which the dependency-free go.mod cannot import:
+// packages are enumerated with `go list -deps -export -json`, type-checked
+// with go/types against the gc export data the go command already produced,
+// and analyzed in dependency-free isolation (the thriftyvet analyzers use no
+// cross-package facts).
+//
+// Two entry points cover the two ways thriftyvet runs:
+//
+//   - Load + Analyze: standalone mode (`thriftyvet ./...`), used by `make
+//     lint` fallbacks and debugging.
+//   - RunUnitchecker (unitchecker.go): the `go vet -vettool` protocol.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"thriftylp/internal/lint/analysis"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Fset maps the Files' positions.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+	// Sizes is the gc size model for the target GOARCH.
+	Sizes types.Sizes
+}
+
+// A Diagnostic is one analyzer finding with a resolved source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command's list subcommand and decodes its JSON stream.
+func goList(extra []string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error"}, extra...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Sizes returns the gc size model for the effective target architecture.
+func Sizes() types.Sizes {
+	arch := os.Getenv("GOARCH")
+	if arch == "" {
+		arch = runtime.GOARCH
+	}
+	if s := types.SizesFor("gc", arch); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}
+
+// exportImporter satisfies go/types' Importer by reading the gc export data
+// files the go command produced. Paths missing from the preloaded table are
+// resolved lazily with one extra `go list -export` call (linttest fixtures
+// importing stdlib take this path).
+type exportImporter struct {
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	e := &exportImporter{exports: exports}
+	e.imp = importer.ForCompiler(fset, "gc", e.lookup)
+	return e
+}
+
+func (e *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	f, ok := e.exports[path]
+	if !ok || f == "" {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		f = strings.TrimSpace(string(out))
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		e.exports[path] = f
+	}
+	return os.Open(f)
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) { return e.imp.Import(path) }
+
+// NewImporter returns a gc-export-data importer seeded with the given
+// canonical-path→file table (may be nil). Paths missing from the table are
+// resolved lazily via `go list -export`; linttest uses this to satisfy
+// stdlib imports inside fixture packages.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	if exports == nil {
+		exports = map[string]string{}
+	}
+	return newExportImporter(fset, exports)
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// ParseFiles parses the named files into fset with comments retained.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// langVersion trims a toolchain version like "go1.24.0" to the language
+// version form ("go1.24") go/types accepts.
+func langVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+// Check type-checks one package's parsed files.
+func Check(fset *token.FileSet, path string, imp types.Importer, files []*ast.File, goVersion string) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     Sizes(),
+		GoVersion: langVersion(goVersion),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// Load enumerates, parses, and type-checks the non-test packages matched by
+// patterns (e.g. "./...").
+func Load(patterns []string) ([]*Package, error) {
+	listed, err := goList([]string{"-deps", "-export"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files, err := ParseFiles(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		tpkg, info, err := Check(fset, t.ImportPath, imp, files, "")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  t.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+			Sizes: Sizes(),
+		})
+	}
+	return pkgs, nil
+}
+
+// Analyze applies the analyzers to one package and returns the findings in
+// source order.
+func Analyze(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			TypesSizes: pkg.Sizes,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}

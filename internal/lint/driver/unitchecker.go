@@ -1,0 +1,182 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"thriftylp/internal/lint/analysis"
+)
+
+// This file implements the `go vet -vettool` protocol, mirroring
+// golang.org/x/tools/go/analysis/unitchecker. The go command drives the tool
+// as follows:
+//
+//  1. `tool -flags` — print a JSON description of the tool's flags.
+//  2. `tool -V=full` — print "<path> version devel comments-go-here
+//     buildID=<hex>"; the go command hashes this line into its cache key, so
+//     the ID must change whenever the tool binary changes (hashing the
+//     executable achieves that).
+//  3. `tool <file>.cfg` — analyze one package. The cfg names the package's
+//     sources and maps every import to the gc export data file the build
+//     already produced. The tool must write cfg.VetxOutput (the facts file;
+//     empty here, no thriftyvet analyzer uses facts) and exit 2 if it found
+//     diagnostics, 0 otherwise.
+//
+// The go command invokes step 3 for every dependency too, with VetxOnly set
+// — those calls exist only to propagate facts, so a factless tool writes the
+// empty output and returns without parsing anything. That keeps
+// `go vet -vettool=thriftyvet ./...` at roughly the cost of vetting the
+// module's own packages.
+
+// vetConfig mirrors the JSON the go command writes to vet.cfg.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements -V=full.
+func PrintVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(data)
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", exe, string(sum[:]))
+	return nil
+}
+
+// PrintFlags implements -flags: the JSON flag inventory the go command reads
+// to decide which command-line flags it may forward to the tool.
+func PrintFlags(w io.Writer, analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{"V", false, "print version and exit"},
+		{"flags", true, "print flags in JSON"},
+	}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{a.Name, true, "enable the " + a.Name + " analyzer (disables those not named)"})
+	}
+	data, _ := json.Marshal(flags)
+	fmt.Fprintln(w, string(data))
+}
+
+// RunUnitchecker analyzes the package described by the cfg file and returns
+// the process exit code: 0 clean, 1 operational error, 2 diagnostics found.
+// Diagnostics go to stderr (the go command relays them), matching the
+// x/tools unitchecker contract.
+func RunUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// Facts stub: thriftyvet analyzers are factless, so the facts file the
+	// go command expects to cache is always empty — and VetxOnly
+	// (dependency) invocations need nothing else.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := analyzeVetConfig(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", relativePos(d.Pos, cfg.Dir), d.Message)
+	}
+	return 2
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: parsing vet config: %v", path, err)
+	}
+	return cfg, nil
+}
+
+func analyzeVetConfig(cfg *vetConfig, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	files, err := ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	// Imports resolve through the cfg's ImportMap (which canonicalizes test
+	// variants and vendored paths) to the export data files of the build.
+	exp := &exportImporter{exports: cfg.PackageFile}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return exp.lookup(path)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	tpkg, info, err := Check(fset, cfg.ImportPath, imp, files, cfg.GoVersion)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Sizes: Sizes(),
+	}
+	return Analyze(pkg, analyzers)
+}
+
+// relativePos renders a token.Position with the filename relative to dir
+// when possible, matching how go vet prints positions.
+func relativePos(pos token.Position, dir string) string {
+	name := pos.Filename
+	if dir != "" && strings.HasPrefix(name, dir+string(os.PathSeparator)) {
+		name = name[len(dir)+1:]
+	}
+	p := pos
+	p.Filename = name
+	return p.String()
+}

@@ -1,0 +1,95 @@
+// Package errfreeze implements the thriftyvet analyzer that freezes the
+// graph package's error strings.
+//
+// The graph loaders are the module's untrusted-input boundary; their error
+// text is matched by the hardening tests, by CLI snapshot tests, and —
+// since errors are how operators debug bad datasets — by humans' runbooks.
+// PR 4 parallelized the ingestion pipeline under the explicit constraint
+// that seed error strings be preserved; this analyzer turns that one-off
+// review promise into a standing check: every fmt.Errorf / errors.New
+// format string in package graph must appear in the Frozen list
+// (frozen.go), and TestFrozenRoundTrip keeps the list free of stale
+// entries. Roadmap-wise this is the "error text is API" discipline of a
+// production service, enforced at vet time.
+package errfreeze
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"thriftylp/internal/lint/analysis"
+	"thriftylp/internal/lint/lintutil"
+)
+
+// graphPath is the package whose error strings are frozen.
+const graphPath = "thriftylp/graph"
+
+// Analyzer is the errfreeze analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errfreeze",
+	Doc:  "require graph package error strings to match the checked-in frozen list",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PkgPathMatches(pass.Pkg.Path(), graphPath) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if lintutil.InGOROOT(pass.Fset, f) || lintutil.IsTestFile(pass.Fset, f.Package) {
+			continue
+		}
+		for _, site := range ErrorStrings(f) {
+			if !Frozen[site.Text] {
+				pass.Reportf(site.Pos, "graph error string %q is not in the frozen list: error text is API — if the change is deliberate, update internal/lint/errfreeze/frozen.go in the same commit", site.Text)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// An ErrorSite is one error-constructor call with a literal format string.
+type ErrorSite struct {
+	Text string
+	Pos  token.Pos
+}
+
+// ErrorStrings returns the literal format strings of every fmt.Errorf and
+// errors.New call in the file, matched syntactically (by selector shape, not
+// type information) so the round-trip test can run it over bare parse trees.
+// The two matching styles agree for package graph, which never shadows the
+// fmt or errors identifiers.
+func ErrorStrings(f *ast.File) []ErrorSite {
+	var out []ErrorSite
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isErrorf := pkg.Name == "fmt" && sel.Sel.Name == "Errorf"
+		isNew := pkg.Name == "errors" && sel.Sel.Name == "New"
+		if !isErrorf && !isNew {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		out = append(out, ErrorSite{Text: s, Pos: lit.Pos()})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,42 @@
+package errfreeze
+
+// Frozen is the checked-in list of error format strings the graph package is
+// allowed to construct (the first argument of its fmt.Errorf / errors.New
+// calls). Graph I/O error text is part of the package's contract: callers,
+// fixtures and the hardening tests match on it, so a refactor that rewords a
+// message is an API change, not a cleanup.
+//
+// To change an error string deliberately: update the call site AND this
+// list in the same commit. The errfreeze analyzer fails when a live string
+// is missing here; TestFrozenRoundTrip fails when an entry here no longer
+// exists in the live package, so the two can never drift apart silently.
+var Frozen = map[string]bool{
+	"element %d of %d: %w":                           true,
+	"graph: %d vertices exceeds the id space [0,%d)": true,
+	"graph: %s: header claims %d vertices and %d slots (%d payload bytes) but file holds %d": true,
+	"graph: %s: reading adjacency: %w":                                     true,
+	"graph: %s: reading offsets: %w":                                       true,
+	"graph: adjacency slot %d references vertex %d out of range [0,%d)":    true,
+	"graph: adjacency without offsets":                                     true,
+	"graph: bad magic %#x":                                                 true,
+	"graph: duplicate vertex %d in subgraph set":                           true,
+	"graph: edge {%d,%d} out of range [0,%d)":                              true,
+	"graph: header claims %d vertices, above the uint32 id space":          true,
+	"graph: header sizes overflow (%d vertices, %d slots)":                 true,
+	"graph: labelling has %d entries for %d vertices":                      true,
+	"graph: line %d: %s":                                                   true,
+	"graph: mmap unavailable":                                              true,
+	"graph: offsets not monotone at vertex %d":                             true,
+	"graph: offsets[%d] = %d, want len(adj) = %d":                          true,
+	"graph: offsets[0] = %d, want 0":                                       true,
+	"graph: perm maps two vertices to %d":                                  true,
+	"graph: perm[%d] = %d out of range":                                    true,
+	"graph: permutation has %d entries for %d vertices":                    true,
+	"graph: reading adjacency: %w":                                         true,
+	"graph: reading binary header: %w":                                     true,
+	"graph: reading offsets: %w":                                           true,
+	"graph: subgraph vertex %d out of range [0,%d)":                        true,
+	"graph: unsupported version %d":                                        true,
+	"graph: vertex %d has out-degree %d but in-degree %d (asymmetric CSR)": true,
+	"graph: vertex id %d is reserved (id space is [0,%d))":                 true,
+}

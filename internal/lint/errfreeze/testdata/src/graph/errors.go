@@ -1,0 +1,28 @@
+// Fixture for the errfreeze analyzer. The package is named graph so the
+// package-path gate applies; frozen strings come from the real Frozen list.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errMmap = errors.New("graph: mmap unavailable")
+
+func frozenOK(x uint64) error {
+	return fmt.Errorf("graph: bad magic %#x", x)
+}
+
+func drifted() error {
+	return errors.New("graph: a message nobody froze") // want `is not in the frozen list`
+}
+
+func driftedf(v int) error {
+	return fmt.Errorf("graph: surprise condition %d", v) // want `is not in the frozen list`
+}
+
+// wrapped strings built at run time are invisible to the syntactic scan;
+// the analyzer only freezes literals.
+func dynamic(prefix string) error {
+	return errors.New(prefix + ": built at run time")
+}

@@ -1,0 +1,245 @@
+// Package hotpath implements the thriftyvet analyzer that keeps annotated
+// traversal kernels allocation-free.
+//
+// The zero-cost instrumentation design (DESIGN.md §8) only stays zero-cost
+// if the per-edge/per-vertex loops compile to bare traversals: one heap
+// allocation, boxing conversion, or fmt call inside them costs more than the
+// instrumentation the policy split removed. Functions annotated
+// //thrifty:hotpath therefore may not contain:
+//
+//   - calls to the allocating builtins append, make, new
+//   - map operations of any kind (index, assignment, range, delete,
+//     literals) — map access hashes and may allocate
+//   - closures created inside loops (a FuncLit per iteration escapes)
+//   - conversions of concrete values to interface types (boxing), whether
+//     explicit, at call sites, in assignments, or at returns
+//   - calls into package fmt
+//
+// The analyzer checks the annotated function's entire lexical body,
+// including nested function literals (worker bodies).
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"thriftylp/internal/lint/analysis"
+	"thriftylp/internal/lint/directive"
+	"thriftylp/internal/lint/lintutil"
+)
+
+// Analyzer is the hotpath analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "reject allocations, map ops, boxing and fmt calls in //thrifty:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if lintutil.InGOROOT(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := directive.FromDoc(fd.Doc, directive.Hotpath); !ok {
+				continue
+			}
+			c := &checker{pass: pass, fname: fd.Name.Name}
+			c.check(fd.Body, 0)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	fname string
+}
+
+// check walks a statement tree; loopDepth counts enclosing for/range
+// statements so closures allocated per iteration can be distinguished from
+// once-per-call worker bodies.
+func (c *checker) check(n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			c.checkParts(loopDepth, n.Init, n.Cond, n.Post)
+			c.check(n.Body, loopDepth+1)
+			return false
+		case *ast.RangeStmt:
+			c.rangeExpr(n)
+			c.checkParts(loopDepth, n.Key, n.Value, n.X)
+			c.check(n.Body, loopDepth+1)
+			return false
+		case *ast.FuncLit:
+			if loopDepth > 0 {
+				c.reportf(n.Pos(), "closure created inside a loop in //thrifty:hotpath function %s (allocates per iteration)", c.fname)
+			}
+			// The literal's body is still hot code: keep walking at its own
+			// loop depth.
+			c.check(n.Body, 0)
+			return false
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.CompositeLit:
+			if t := c.typeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					c.reportf(n.Pos(), "map literal in //thrifty:hotpath function %s", c.fname)
+				}
+			}
+		case *ast.IndexExpr:
+			if t := c.typeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					c.reportf(n.Pos(), "map access in //thrifty:hotpath function %s", c.fname)
+				}
+			}
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.ValueSpec:
+			c.valueSpec(n)
+		}
+		return true
+	})
+}
+
+// checkParts walks loop header sub-nodes at the surrounding depth.
+func (c *checker) checkParts(loopDepth int, nodes ...ast.Node) {
+	for _, n := range nodes {
+		switch v := n.(type) {
+		case nil:
+		case ast.Expr:
+			if v != nil {
+				c.check(v, loopDepth)
+			}
+		case ast.Stmt:
+			if v != nil {
+				c.check(v, loopDepth)
+			}
+		}
+	}
+}
+
+func (c *checker) rangeExpr(n *ast.RangeStmt) {
+	if t := c.typeOf(n.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			c.reportf(n.Pos(), "range over map in //thrifty:hotpath function %s", c.fname)
+		}
+	}
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	// Builtins and conversions first.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "make", "new":
+				c.reportf(call.Pos(), "call to %s allocates in //thrifty:hotpath function %s", b.Name(), c.fname)
+			case "delete":
+				c.reportf(call.Pos(), "map delete in //thrifty:hotpath function %s", c.fname)
+			}
+			return
+		}
+	}
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() {
+		// Conversion T(x).
+		if isBoxing(tv.Type, c.typeOf(call.Args[0])) {
+			c.reportf(call.Pos(), "conversion to interface %s in //thrifty:hotpath function %s (boxes)", tv.Type, c.fname)
+		}
+		return
+	}
+	if fn := lintutil.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+		if lintutil.FuncPkgPath(fn) == "fmt" {
+			c.reportf(call.Pos(), "call to fmt.%s in //thrifty:hotpath function %s", fn.Name(), c.fname)
+		}
+	}
+	// Implicit boxing of arguments at interface-typed parameters.
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if isBoxing(pt, c.typeOf(arg)) {
+			c.reportf(arg.Pos(), "argument boxed into interface %s in //thrifty:hotpath function %s", pt, c.fname)
+		}
+	}
+}
+
+func (c *checker) assign(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		lt := c.typeOf(lhs)
+		if isBoxing(lt, c.typeOf(n.Rhs[i])) {
+			c.reportf(n.Rhs[i].Pos(), "value boxed into interface %s in //thrifty:hotpath function %s", lt, c.fname)
+		}
+	}
+}
+
+func (c *checker) valueSpec(n *ast.ValueSpec) {
+	if n.Type == nil || len(n.Values) == 0 {
+		return
+	}
+	lt := c.typeOf(n.Type)
+	for _, v := range n.Values {
+		if isBoxing(lt, c.typeOf(v)) {
+			c.reportf(v.Pos(), "value boxed into interface %s in //thrifty:hotpath function %s", lt, c.fname)
+		}
+	}
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return c.pass.TypesInfo.TypeOf(e)
+}
+
+// isBoxing reports whether assigning a value of type src to a destination of
+// type dst converts a concrete value to an interface (a heap-boxing
+// conversion). Type parameters are excluded: the instrumentation hooks take
+// type-parameter operands precisely so that the zero-size fast path
+// monomorphizes away.
+func isBoxing(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	if _, isTP := dst.(*types.TypeParam); isTP {
+		return false
+	}
+	if !types.IsInterface(dst) {
+		return false
+	}
+	if types.IsInterface(src) {
+		return false
+	}
+	if _, isTP := src.(*types.TypeParam); isTP {
+		return false
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	c.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"thriftylp/internal/lint/hotpath"
+	"thriftylp/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), hotpath.Analyzer, "hotpath")
+}

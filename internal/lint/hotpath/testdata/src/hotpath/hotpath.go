@@ -1,0 +1,83 @@
+// Fixture for the hotpath analyzer: every construct the annotation forbids,
+// plus the same constructs unannotated (which must stay silent).
+package hotpath
+
+import "fmt"
+
+func sinkAny(v any) { _ = v }
+
+func sinkInt(v int) { _ = v }
+
+//thrifty:hotpath
+func badBuiltins(xs []int, n int) []int {
+	xs = append(xs, 1) // want `call to append allocates`
+	p := new(int)      // want `call to new allocates`
+	_ = p
+	ys := make([]int, n) // want `call to make allocates`
+	_ = ys
+	return xs
+}
+
+//thrifty:hotpath
+func badMaps(m map[int]int) int {
+	v := m[3]               // want `map access`
+	delete(m, 3)            // want `map delete`
+	m2 := map[int]int{1: 2} // want `map literal`
+	m2[1] = v               // want `map access`
+	for k := range m {      // want `range over map`
+		v += k
+	}
+	return v
+}
+
+//thrifty:hotpath
+func badClosureInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		f := func() int { return i } // want `closure created inside a loop`
+		total += f()
+	}
+	return total
+}
+
+//thrifty:hotpath
+func badFmtAndBoxing(n int) {
+	fmt.Println(n) // want `call to fmt\.Println` `argument boxed into interface`
+	var x any = n  // want `value boxed into interface`
+	_ = x
+	y := any(n) // want `conversion to interface`
+	_ = y
+	sinkAny(n) // want `argument boxed into interface`
+}
+
+// goodHot exercises the allowed constructs: index loops over slices, calls
+// to non-fmt functions, closures outside loops, interface-to-interface and
+// nil assignments.
+//
+//thrifty:hotpath
+func goodHot(xs []int, e error) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	f := func(v int) int { return v + 1 }
+	total = f(total)
+	sinkInt(total)
+	var e2 error = e // interface to interface: no boxing
+	_ = e2
+	var e3 error = nil // nil: no boxing
+	_ = e3
+	return total
+}
+
+// notAnnotated repeats the forbidden constructs without the directive; the
+// analyzer must not report anything here.
+func notAnnotated(xs []int, m map[int]int, n int) []int {
+	xs = append(xs, m[0])
+	for i := 0; i < n; i++ {
+		f := func() int { return i }
+		xs = append(xs, f())
+	}
+	fmt.Println(len(xs))
+	return xs
+}

@@ -1,0 +1,217 @@
+// Package linttest is a minimal analogue of
+// golang.org/x/tools/go/analysis/analysistest for the thriftyvet suite.
+//
+// Each analyzer keeps golden fixtures under testdata/src/<pkg>/: ordinary Go
+// source annotated with `// want "regexp"` comments marking the diagnostics
+// the analyzer must produce on that line (several per line are allowed;
+// regexps may be double- or back-quoted). Run loads a fixture package with
+// the real type checker, applies the analyzer, and fails the test on any
+// missing, unexpected, or mismatched diagnostic — so every fixture is
+// simultaneously a failing case (the want lines) and a passing case (every
+// unannotated line).
+//
+// Fixture imports resolve against sibling fixture directories first (so a
+// fixture can import a stub `parallel` runtime), then fall back to the real
+// toolchain's export data for the standard library.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"thriftylp/internal/lint/analysis"
+	"thriftylp/internal/lint/driver"
+)
+
+// Run loads each named fixture package from <testdata>/src/<pkg>, applies
+// the analyzer, and compares its diagnostics against the fixtures' want
+// comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := &loader{
+		fset: token.NewFileSet(),
+		root: filepath.Join(testdata, "src"),
+		pkgs: map[string]*fixturePkg{},
+	}
+	ld.std = driver.NewImporter(ld.fset, nil)
+	for _, path := range pkgs {
+		fp, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		check(t, ld.fset, a, fp)
+	}
+}
+
+// TestData returns the absolute path of the calling package's testdata
+// directory (tests run with the package directory as working directory).
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader parses and type-checks fixture packages, memoizing results so a
+// fixture imported by another fixture is checked once.
+type loader struct {
+	fset *token.FileSet
+	root string
+	std  types.Importer
+	pkgs map[string]*fixturePkg
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files, err := driver.ParseFiles(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := driver.Check(l.fset, path, l, files, runtime.Version())
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = fp
+	return fp, nil
+}
+
+// Import satisfies types.Importer: fixture directories shadow everything
+// else; non-fixture paths resolve through the toolchain's export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// check runs the analyzer over one fixture package and reconciles its
+// diagnostics with the want comments.
+func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixturePkg) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      fp.files,
+		Pkg:        fp.pkg,
+		TypesInfo:  fp.info,
+		TypesSizes: driver.Sizes(),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error on fixture %s: %v", a.Name, fp.path, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(t, fset, c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				wants[k] = append(wants[k], patterns...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: %s:%d: unexpected diagnostic: %s", a.Name, k.file, k.line, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", a.Name, k.file, k.line, re)
+		}
+	}
+}
+
+// wantRE extracts the quoted regexps of a want comment: double-quoted
+// (Go-unquoted) or back-quoted (verbatim).
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWant reports whether the comment is a `// want ...` expectation and
+// returns its compiled patterns.
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) ([]*regexp.Regexp, bool) {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(text, "want ")
+	var out []*regexp.Regexp
+	for _, q := range wantRE.FindAllString(rest, -1) {
+		s := q
+		if s[0] == '"' {
+			u, err := strconv.Unquote(s)
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", fset.Position(c.Pos()), q, err)
+			}
+			s = u
+		} else {
+			s = s[1 : len(s)-1]
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %s: %v", fset.Position(c.Pos()), q, err)
+		}
+		out = append(out, re)
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no quoted regexps", fset.Position(c.Pos()))
+	}
+	return out, true
+}

@@ -1,0 +1,99 @@
+// Package padded implements the thriftyvet analyzer for cache-line padding
+// invariants.
+//
+// The per-thread slots of the scheduler and worklists (parallel.stealSlot,
+// parallel.workerSlot, worklist.cursorPad) are padded so that concurrent
+// flushes from different workers never false-share a cache line — the
+// boundary-only telemetry design (DESIGN.md §10) depends on it. A refactor
+// that adds a field and silently grows a slot past its padding reintroduces
+// false sharing with no functional symptom, only a perf cliff.
+//
+// Structs annotated //thrifty:padded must therefore satisfy, under the gc
+// size model for the target GOARCH:
+//
+//   - total size is a non-zero multiple of 64 bytes (consecutive elements of
+//     a []T start on distinct cache lines), and
+//   - every named (hot) field lies entirely within one 64-byte line — the
+//     padding, by convention a trailing blank field, absorbs the remainder.
+package padded
+
+import (
+	"go/ast"
+	"go/types"
+
+	"thriftylp/internal/lint/analysis"
+	"thriftylp/internal/lint/directive"
+	"thriftylp/internal/lint/lintutil"
+)
+
+// cacheLine is the assumed cache-line size, matching the padding applied in
+// internal/parallel and internal/worklist.
+const cacheLine = 64
+
+// Analyzer is the padded analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "padded",
+	Doc:  "check that //thrifty:padded structs are cache-line padded (size % 64 == 0, no field straddles a line)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if lintutil.InGOROOT(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, onSpec := directive.FromDoc(ts.Doc, directive.Padded)
+				_, onDecl := directive.FromDoc(gd.Doc, directive.Padded)
+				if !onSpec && !onDecl {
+					continue
+				}
+				check(pass, ts)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, ts *ast.TypeSpec) {
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "//thrifty:padded on %s, which is not a struct type", ts.Name.Name)
+		return
+	}
+	size := pass.TypesSizes.Sizeof(st)
+	if size == 0 || size%cacheLine != 0 {
+		pass.Reportf(ts.Pos(), "//thrifty:padded struct %s is %d bytes, not a non-zero multiple of %d: adjacent slots will share a cache line", ts.Name.Name, size, cacheLine)
+	}
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := pass.TypesSizes.Offsetsof(fields)
+	for i, fld := range fields {
+		if fld.Name() == "_" {
+			continue // the padding field may span lines by design
+		}
+		fsize := pass.TypesSizes.Sizeof(fld.Type())
+		if fsize == 0 {
+			continue
+		}
+		start, end := offsets[i], offsets[i]+fsize-1
+		if start/cacheLine != end/cacheLine {
+			pass.Reportf(ts.Pos(), "//thrifty:padded struct %s: field %s spans cache lines (offset %d, size %d)", ts.Name.Name, fld.Name(), start, fsize)
+		}
+	}
+}

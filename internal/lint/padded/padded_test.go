@@ -1,0 +1,12 @@
+package padded_test
+
+import (
+	"testing"
+
+	"thriftylp/internal/lint/linttest"
+	"thriftylp/internal/lint/padded"
+)
+
+func TestPadded(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), padded.Analyzer, "padded")
+}

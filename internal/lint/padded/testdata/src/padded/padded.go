@@ -1,0 +1,41 @@
+// Fixture for the padded analyzer. Sizes assume the gc model for a 64-bit
+// GOARCH, matching driver.Sizes.
+package padded
+
+// good is exactly one cache line: two hot words plus padding.
+//
+//thrifty:padded
+type good struct {
+	a, b int64
+	_    [6]int64
+}
+
+// goodTwoLines is two cache lines with each hot field inside one line.
+//
+//thrifty:padded
+type goodTwoLines struct {
+	a int64
+	_ [7]int64
+	b int64
+	_ [7]int64
+}
+
+//thrifty:padded
+type wrongSize struct { // want `is 16 bytes, not a non-zero multiple of 64`
+	a, b int64
+}
+
+//thrifty:padded
+type straddle struct { // want `field hot spans cache lines`
+	_   [60]byte
+	hot [2]int32
+	_   [60]byte
+}
+
+//thrifty:padded
+type notStruct int // want `not a struct type`
+
+// unannotated is undersized but carries no directive: stays silent.
+type unannotated struct {
+	a int64
+}

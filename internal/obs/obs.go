@@ -23,7 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"thriftylp/internal/atomicx"
 
 	"thriftylp/cc"
 )
@@ -34,25 +34,25 @@ import (
 // publishing see a consistent per-metric snapshot.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*atomic.Int64
-	gauges   map[string]*atomic.Uint64 // float64 bits
+	counters map[string]*atomicx.Int64
+	gauges   map[string]*atomicx.Uint64 // float64 bits
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*atomic.Int64),
-		gauges:   make(map[string]*atomic.Uint64),
+		counters: make(map[string]*atomicx.Int64),
+		gauges:   make(map[string]*atomicx.Uint64),
 	}
 }
 
 // counter returns the counter cell for name, creating it at zero.
-func (r *Registry) counter(name string) *atomic.Int64 {
+func (r *Registry) counter(name string) *atomicx.Int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
-		c = new(atomic.Int64)
+		c = new(atomicx.Int64)
 		r.counters[name] = c
 	}
 	return c
@@ -79,7 +79,7 @@ func (r *Registry) SetGauge(name string, v float64) {
 	r.mu.Lock()
 	g := r.gauges[name]
 	if g == nil {
-		g = new(atomic.Uint64)
+		g = new(atomicx.Uint64)
 		r.gauges[name] = g
 	}
 	r.mu.Unlock()

@@ -1,6 +1,6 @@
 package parallel
 
-import "sync/atomic"
+import "thriftylp/internal/atomicx"
 
 // For runs fn over [0, n) on the pool, handing each worker dynamically
 // claimed chunks of the given grain size. fn receives half-open [lo, hi)
@@ -26,7 +26,7 @@ func For(pool *Pool, n, grain int, fn func(tid, lo, hi int)) {
 	var next int64
 	pool.MustRun(func(tid int) {
 		for {
-			lo := int(atomic.AddInt64(&next, int64(grain))) - grain
+			lo := int(atomicx.AddInt64(&next, int64(grain))) - grain
 			if lo >= n {
 				return
 			}
@@ -53,7 +53,7 @@ func ForEach(pool *Pool, n, grain int, fn func(i int)) {
 func SumInt64(pool *Pool, n, grain int, fn func(lo, hi int) int64) int64 {
 	var total int64
 	For(pool, n, grain, func(_, lo, hi int) {
-		atomic.AddInt64(&total, fn(lo, hi))
+		atomicx.AddInt64(&total, fn(lo, hi))
 	})
 	return total
 }
@@ -81,6 +81,7 @@ func MaxIndex(pool *Pool, n int, key func(i int) int64) int {
 				bestV, bestI = v, i
 			}
 		}
+		//thrifty:benign-race per-thread reduction slots indexed by tid; no two workers share an index
 		maxVals[tid], maxIdx[tid] = bestV, bestI
 	})
 	bestV, bestI := int64(-1<<62), -1
@@ -100,6 +101,7 @@ func MaxIndex(pool *Pool, n int, key func(i int) int64) int {
 func Fill(pool *Pool, dst []uint32, fn func(i int) uint32) {
 	For(pool, len(dst), 0, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
+			//thrifty:benign-race workers write disjoint [lo,hi) ranges of dst
 			dst[i] = fn(i)
 		}
 	})

@@ -34,7 +34,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"thriftylp/internal/atomicx"
 	"time"
 )
 
@@ -83,6 +83,8 @@ func (s PoolStats) Sub(prev PoolStats) PoolStats {
 }
 
 // workerSlot is one worker's stats block, padded to its own cache line.
+//
+//thrifty:padded
 type workerSlot struct {
 	jobs, idleNanos int64
 	_               [6]int64
@@ -177,9 +179,9 @@ func (s *poolState) worker(tid int) {
 		s.mu.Unlock()
 		ws := &s.wstats[tid]
 		if !idleStart.IsZero() {
-			atomic.AddInt64(&ws.idleNanos, int64(time.Since(idleStart)))
+			atomicx.AddInt64(&ws.idleNanos, int64(time.Since(idleStart)))
 		}
-		atomic.AddInt64(&ws.jobs, 1)
+		atomicx.AddInt64(&ws.jobs, 1)
 
 		pe := runJob(job, tid)
 
@@ -217,7 +219,7 @@ func (p *Pool) Run(job func(tid int)) error {
 		if closed {
 			return ErrClosed
 		}
-		atomic.AddInt64(&s.wstats[0].jobs, 1)
+		atomicx.AddInt64(&s.wstats[0].jobs, 1)
 		if pe := runJob(job, 0); pe != nil {
 			return pe
 		}
@@ -263,8 +265,8 @@ func (p *Pool) Stats() PoolStats {
 	var st PoolStats
 	var idle int64
 	for i := range p.s.wstats {
-		st.JobsRun += atomic.LoadInt64(&p.s.wstats[i].jobs)
-		idle += atomic.LoadInt64(&p.s.wstats[i].idleNanos)
+		st.JobsRun += atomicx.LoadInt64(&p.s.wstats[i].jobs)
+		idle += atomicx.LoadInt64(&p.s.wstats[i].idleNanos)
 	}
 	st.Idle = time.Duration(idle)
 	return st

@@ -27,6 +27,7 @@ func PrefixSum(pool *Pool, xs []int64) {
 		for _, v := range xs[parts[tid].Lo:parts[tid].Hi] {
 			s += v
 		}
+		//thrifty:benign-race per-thread partial-sum slot indexed by tid
 		totals[tid] = s
 	})
 	var carry int64
@@ -39,6 +40,7 @@ func PrefixSum(pool *Pool, xs []int64) {
 		run := totals[tid]
 		for i := parts[tid].Lo; i < parts[tid].Hi; i++ {
 			run += xs[i]
+			//thrifty:benign-race workers rewrite disjoint partitions of xs in place
 			xs[i] = run
 		}
 	})

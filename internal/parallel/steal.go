@@ -1,6 +1,6 @@
 package parallel
 
-import "sync/atomic"
+import "thriftylp/internal/atomicx"
 
 // StealStats aggregates a Stealer's partition-scheduling activity: how many
 // partitions each thread ran from its own block versus took from another
@@ -21,6 +21,8 @@ type StealStats struct {
 
 // stealSlot is one thread's stats block, padded to its own cache line so
 // flushes from different workers do not false-share.
+//
+//thrifty:padded
 type stealSlot struct {
 	owned, stolen, failed int64
 	_                     [5]int64
@@ -63,9 +65,9 @@ func NewStealer(parts []Range, threads int) *Stealer {
 func (s *Stealer) Stats() StealStats {
 	var st StealStats
 	for i := range s.stats {
-		st.Owned += atomic.LoadInt64(&s.stats[i].owned)
-		st.Stolen += atomic.LoadInt64(&s.stats[i].stolen)
-		st.FailedSteals += atomic.LoadInt64(&s.stats[i].failed)
+		st.Owned += atomicx.LoadInt64(&s.stats[i].owned)
+		st.Stolen += atomicx.LoadInt64(&s.stats[i].stolen)
+		st.FailedSteals += atomicx.LoadInt64(&s.stats[i].failed)
 	}
 	return st
 }
@@ -74,7 +76,7 @@ func (s *Stealer) Stats() StealStats {
 // reused across iterations without reallocating.
 func (s *Stealer) Reset() {
 	for i := range s.claimed {
-		atomic.StoreInt32(&s.claimed[i], 0)
+		atomicx.StoreInt32(&s.claimed[i], 0)
 	}
 }
 
@@ -87,8 +89,8 @@ func (s *Stealer) block(t int) (lo, hi int) {
 }
 
 func (s *Stealer) tryClaim(i int) bool {
-	return atomic.LoadInt32(&s.claimed[i]) == 0 &&
-		atomic.CompareAndSwapInt32(&s.claimed[i], 0, 1)
+	return atomicx.LoadInt32(&s.claimed[i]) == 0 &&
+		atomicx.CASInt32(&s.claimed[i], 0, 1)
 }
 
 // Work runs fn over partitions on behalf of thread tid until no unclaimed
@@ -121,9 +123,9 @@ func (s *Stealer) Work(tid int, fn func(p Range)) {
 	}
 	if owned|stolen|failed != 0 {
 		st := &s.stats[tid%len(s.stats)]
-		atomic.AddInt64(&st.owned, owned)
-		atomic.AddInt64(&st.stolen, stolen)
-		atomic.AddInt64(&st.failed, failed)
+		atomicx.AddInt64(&st.owned, owned)
+		atomicx.AddInt64(&st.stolen, stolen)
+		atomicx.AddInt64(&st.failed, failed)
 	}
 }
 

@@ -26,8 +26,6 @@
 package spmv
 
 import (
-	"sync/atomic"
-
 	"thriftylp/graph"
 	"thriftylp/internal/atomicx"
 	"thriftylp/internal/parallel"
@@ -192,8 +190,8 @@ func pushIter(g *graph.Graph, p Program, pool *parallel.Pool, values []uint32, c
 				}
 			}
 		})
-		atomic.AddInt64(&av, lv)
-		atomic.AddInt64(&ae, le)
+		atomicx.AddInt64(&av, lv)
+		atomicx.AddInt64(&ae, le)
 	})
 	return av, ae
 }
@@ -240,8 +238,8 @@ func pullIter(g *graph.Graph, p Program, pool *parallel.Pool, values, shadow []u
 				}
 			}
 		}
-		atomic.AddInt64(&av, lv)
-		atomic.AddInt64(&ae, le)
+		atomicx.AddInt64(&av, lv)
+		atomicx.AddInt64(&ae, le)
 	})
 	return av, ae
 }

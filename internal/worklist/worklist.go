@@ -13,7 +13,7 @@
 // insertion, but the program stays data-race-free.
 package worklist
 
-import "sync/atomic"
+import "thriftylp/internal/atomicx"
 
 // stealChunk is the number of vertices a consumer claims from a list per
 // cursor bump. Chunking amortizes the atomic fetch-add and keeps stolen work
@@ -30,6 +30,7 @@ type Set struct {
 	threads int
 }
 
+//thrifty:padded
 type cursorPad struct {
 	c int64
 	_ [7]int64 // pad to a cache line so steal cursors do not false-share
@@ -53,10 +54,10 @@ func New(n, threads int) *Set {
 // not atomic as a unit (see package comment); duplicates are possible and
 // benign.
 func (s *Set) Add(tid int, v uint32) {
-	if atomic.LoadUint32(&s.marked[v]) != 0 {
+	if atomicx.LoadUint32(&s.marked[v]) != 0 {
 		return
 	}
-	atomic.StoreUint32(&s.marked[v], 1)
+	atomicx.StoreUint32(&s.marked[v], 1)
 	s.lists[tid] = append(s.lists[tid], v)
 }
 
@@ -68,10 +69,10 @@ func (s *Set) Add(tid int, v uint32) {
 // "absent", both insert, and both return true — the benign duplicate the
 // package comment describes.
 func (s *Set) AddIfAbsent(tid int, v uint32) bool {
-	if atomic.LoadUint32(&s.marked[v]) != 0 {
+	if atomicx.LoadUint32(&s.marked[v]) != 0 {
 		return false
 	}
-	atomic.StoreUint32(&s.marked[v], 1)
+	atomicx.StoreUint32(&s.marked[v], 1)
 	s.lists[tid] = append(s.lists[tid], v)
 	return true
 }
@@ -80,13 +81,15 @@ func (s *Set) AddIfAbsent(tid int, v uint32) bool {
 // check. Used when the caller already knows v is absent (e.g., seeding the
 // initial-push frontier with the single planted vertex).
 func (s *Set) AddUnchecked(tid int, v uint32) {
-	atomic.StoreUint32(&s.marked[v], 1)
+	atomicx.StoreUint32(&s.marked[v], 1)
 	s.lists[tid] = append(s.lists[tid], v)
 }
 
 // Contains reports whether v is marked present.
+//
+//thrifty:hotpath
 func (s *Set) Contains(v uint32) bool {
-	return atomic.LoadUint32(&s.marked[v]) != 0
+	return atomicx.LoadUint32(&s.marked[v]) != 0
 }
 
 // Len returns the total number of queued vertices across all lists,
@@ -107,13 +110,15 @@ func (s *Set) Empty() bool { return s.Len() == 0 }
 // Drain is called concurrently by all threads; each queued vertex is
 // delivered to exactly one caller (though the same vertex id may have been
 // queued twice by racing Adds).
+//
+//thrifty:hotpath
 func (s *Set) Drain(tid int, fn func(v uint32)) {
 	for d := 0; d < s.threads; d++ {
 		li := (tid + d) % s.threads
 		list := s.lists[li]
 		cur := &s.cursors[li].c
 		for {
-			lo := int(atomic.AddInt64(cur, stealChunk)) - stealChunk
+			lo := int(atomicx.AddInt64(cur, stealChunk)) - stealChunk
 			if lo >= len(list) {
 				break
 			}
@@ -145,10 +150,10 @@ func (s *Set) ForEach(fn func(v uint32)) {
 func (s *Set) Reset() {
 	for t, l := range s.lists {
 		for _, v := range l {
-			atomic.StoreUint32(&s.marked[v], 0)
+			atomicx.StoreUint32(&s.marked[v], 0)
 		}
 		s.lists[t] = l[:0]
-		atomic.StoreInt64(&s.cursors[t].c, 0)
+		atomicx.StoreInt64(&s.cursors[t].c, 0)
 	}
 }
 
