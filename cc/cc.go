@@ -41,12 +41,13 @@ const (
 	AlgoConnectItBFS  Algorithm = "connectit-bfs"
 )
 
-// Algorithms returns every implemented algorithm in a stable order.
+// Algorithms returns every implemented algorithm in a stable order,
+// including the AlgoAuto selector (last).
 func Algorithms() []Algorithm {
 	return []Algorithm{
 		AlgoThrifty, AlgoDOLP, AlgoDOLPUnified, AlgoLP,
 		AlgoSV, AlgoAfforest, AlgoJayantiT, AlgoBFSCC, AlgoFastSV,
-		AlgoConnectItKOut, AlgoConnectItBFS,
+		AlgoConnectItKOut, AlgoConnectItBFS, AlgoAuto,
 	}
 }
 

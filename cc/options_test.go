@@ -165,11 +165,14 @@ func TestResultHelpers(t *testing.T) {
 
 func TestAlgorithmsListStable(t *testing.T) {
 	algos := cc.Algorithms()
-	if len(algos) != 11 {
+	if len(algos) != 12 {
 		t.Fatalf("Algorithms() has %d entries", len(algos))
 	}
 	if algos[0] != cc.AlgoThrifty {
 		t.Fatal("Thrifty not first")
+	}
+	if algos[len(algos)-1] != cc.AlgoAuto {
+		t.Fatal("auto selector not last")
 	}
 	seen := map[cc.Algorithm]bool{}
 	for _, a := range algos {

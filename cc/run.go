@@ -201,7 +201,16 @@ func RunContext(ctx context.Context, a Algorithm, g *graph.Graph, opts ...Option
 	poolBefore := statsPool.Stats()
 	start := time.Now()
 
-	cres, err := run(a, g, o)
+	// AlgoAuto resolves to a concrete algorithm here, after the clock
+	// starts, so Duration honestly includes the probe the selector paid.
+	selected := a
+	var probe *ProbeStats
+	if a == AlgoAuto {
+		selected, probe = autoSelect(g)
+	}
+	o.cfg.Arena.BeginRun()
+
+	cres, err := run(selected, g, o)
 	if err != nil {
 		return Result{}, err
 	}
@@ -211,6 +220,10 @@ func RunContext(ctx context.Context, a Algorithm, g *graph.Graph, opts ...Option
 		Duration:       time.Since(start),
 		PhaseDurations: cres.PhaseDurations,
 		Ingest:         o.ingest,
+	}
+	if a == AlgoAuto {
+		stats.Selected = selected
+		stats.Probe = probe
 	}
 	poolDelta := statsPool.Stats().Sub(poolBefore)
 	stats.Sched = SchedStats{

@@ -35,8 +35,16 @@ type SchedStats struct {
 // entirely from iteration- and partition-boundary bookkeeping, so requesting
 // it does not perturb what it measures.
 type RunStats struct {
-	// Algorithm is the algorithm that produced the result.
+	// Algorithm is the algorithm the caller asked for ("auto" for
+	// selector-driven runs; see Selected).
 	Algorithm Algorithm
+	// Selected is the concrete algorithm an AlgoAuto run resolved to; empty
+	// when the caller named an algorithm directly.
+	Selected Algorithm
+	// Probe is the structural fingerprint an AlgoAuto run measured to make
+	// its choice, including the probe's own cost and the decision rule that
+	// fired. Nil unless Algorithm is AlgoAuto.
+	Probe *ProbeStats
 	// Duration is the wall time of the whole run.
 	Duration time.Duration
 	// PhaseDurations sums wall time per iteration kind ("pull", "push",

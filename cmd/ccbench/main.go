@@ -16,6 +16,7 @@
 // file — `make bench-json` uses this to refresh BENCH_thrifty.json:
 //
 //	ccbench -json BENCH_thrifty.json -reps 5
+//	ccbench -json auto.json -algo auto      # only the selector; records carry "selected"
 //
 // With -ingest-json, ccbench additionally (or alone) runs the ingestion
 // regression suite — text edge-list parse+build and binary CSR load, frozen
@@ -33,9 +34,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"slices"
 	"strings"
 	"time"
 
+	"thriftylp/cc"
 	"thriftylp/internal/harness"
 	"thriftylp/internal/obs"
 )
@@ -48,6 +51,7 @@ func main() {
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		csvPath = flag.String("csv", "", "also append results as CSV to this file")
 		jsonOut = flag.String("json", "", "run the perf-regression suite and write JSON results to this file")
+		algoSel = flag.String("algo", "", "with -json: comma-separated algorithms to time (e.g. 'auto' or 'thrifty,auto'); empty = default regression set")
 		ingOut  = flag.String("ingest-json", "", "run the ingestion regression suite and write JSON results to this file")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
@@ -82,6 +86,18 @@ func main() {
 
 	if *trace != "" && *jsonOut == "" {
 		fatalf("-trace requires -json (tracing instruments the regression suite cells)")
+	}
+	if *algoSel != "" {
+		if *jsonOut == "" {
+			fatalf("-algo requires -json (it restricts the regression suite; experiments fix their own algorithms)")
+		}
+		for _, name := range strings.Split(*algoSel, ",") {
+			a := cc.Algorithm(strings.TrimSpace(name))
+			if !slices.Contains(cc.Algorithms(), a) {
+				fatalf("unknown algorithm %q (known: %v)", a, cc.Algorithms())
+			}
+			cfg.Algos = append(cfg.Algos, a)
+		}
 	}
 	if *httpAd != "" {
 		srv, err := obs.Serve(*httpAd, obs.NewRegistry(), nil)

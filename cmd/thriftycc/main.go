@@ -207,6 +207,11 @@ func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, ist *graph.Inge
 			return err
 		}
 		if env.trace != nil {
+			// Auto runs emit their selection record first (no-op otherwise),
+			// so the trace explains the iterations that follow.
+			if terr := env.trace.WriteSelector(env.dataset, i, res.Stats); terr != nil {
+				return fmt.Errorf("writing trace: %w", terr)
+			}
 			if terr := env.trace.WriteRun(string(a), env.dataset, i, instData.Iterations); terr != nil {
 				return fmt.Errorf("writing trace: %w", terr)
 			}
@@ -225,6 +230,12 @@ func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, ist *graph.Inge
 	fmt.Printf("%-14s %10.3f ms   %d components, %d iterations (%d push, %d pull)\n",
 		a, float64(best.Nanoseconds())/1e6, res.NumComponents(), res.Iterations,
 		res.PushIterations, res.PullIterations)
+	if res.Stats != nil && res.Stats.Probe != nil {
+		p := res.Stats.Probe
+		fmt.Printf("  auto: selected %s (%s) skew=%.1f hub-frac=%.3f mean-deg=%.2f coverage=%.2f probe-cost=%v\n",
+			res.Stats.Selected, p.Reason, p.SkewRatio, p.HubEdgeFraction,
+			p.MeanDegree, p.SampleCoverage, p.Cost.Round(time.Microsecond))
+	}
 
 	if instrument {
 		fmt.Printf("  events: ")

@@ -192,3 +192,79 @@ func TestMismatchedSizesPanic(t *testing.T) {
 	}()
 	New(10).Swap(New(11))
 }
+
+// TestForEachRangeMatchesGet cross-checks the word-at-a-time range drain
+// against naive per-bit probing over awkward word-boundary ranges.
+func TestForEachRangeMatchesGet(t *testing.T) {
+	b := New(300)
+	for _, i := range []int{0, 1, 62, 63, 64, 65, 127, 128, 200, 255, 256, 299} {
+		b.Set(i)
+	}
+	for _, tc := range []struct{ lo, hi int }{
+		{0, 0}, {0, 300}, {1, 299}, {63, 65}, {64, 128}, {100, 101},
+		{0, 64}, {62, 66}, {255, 257}, {299, 300},
+	} {
+		var want []int
+		for i := tc.lo; i < tc.hi; i++ {
+			if b.Get(i) {
+				want = append(want, i)
+			}
+		}
+		var got []int
+		b.ForEachRange(tc.lo, tc.hi, func(i int) { got = append(got, i) })
+		if len(got) != len(want) {
+			t.Fatalf("ForEachRange(%d,%d): got %v, want %v", tc.lo, tc.hi, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("ForEachRange(%d,%d): got %v, want %v", tc.lo, tc.hi, got, want)
+			}
+		}
+		app := b.AppendRange(nil, tc.lo, tc.hi)
+		if len(app) != len(want) {
+			t.Fatalf("AppendRange(%d,%d): got %v, want %v", tc.lo, tc.hi, app, want)
+		}
+		for k := range app {
+			if int(app[k]) != want[k] {
+				t.Fatalf("AppendRange(%d,%d): got %v, want %v", tc.lo, tc.hi, app, want)
+			}
+		}
+	}
+}
+
+// TestQuickForEachRangeMatchesNaive is a property test over arbitrary index
+// sets and ranges.
+func TestQuickForEachRangeMatchesNaive(t *testing.T) {
+	f := func(idx []uint16, lo16, hi16 uint16) bool {
+		const n = 1 << 16
+		b := New(n)
+		for _, i := range idx {
+			b.Set(int(i))
+		}
+		lo, hi := int(lo16), int(hi16)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		count := 0
+		ok := true
+		b.ForEachRange(lo, hi, func(i int) {
+			if i < lo || i >= hi || !b.Get(i) {
+				ok = false
+			}
+			count++
+		})
+		return ok && count == b.CountRange(lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachRangeOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForEachRange out of bounds did not panic")
+		}
+	}()
+	New(10).ForEachRange(0, 11, func(int) {})
+}

@@ -102,7 +102,7 @@ func sampleFrequentComponent(comp []uint32) uint32 {
 func Afforest(g *graph.Graph, cfg Config) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
-	comp := make([]uint32, n)
+	comp := cfg.Arena.Uint32s(n)
 	parallel.Fill(pool, comp, func(i int) uint32 { return uint32(i) })
 	if n == 0 {
 		return Result{Labels: comp}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"thriftylp/internal/bitmap"
+	"thriftylp/internal/worklist"
+)
+
+// Arena is a reusable allocation pool for the per-run working state of the
+// CC kernels: label arrays, sparse-frontier worklists, and dense-frontier
+// bitmaps. A fresh run of Thrifty on a medium graph allocates several
+// megabytes (labels, two worklist mark arrays, per-thread lists) that are
+// dead the moment the run returns; a serving path that answers many queries
+// over the same graph — or a benchmark harness taking repeated measurements
+// — pays that allocation and the induced GC pressure on every run. Routing
+// the kernels' acquisitions through an Arena makes the second and later runs
+// allocation-free: buffers are recycled by position, growing only when a
+// larger graph arrives.
+//
+// Contract:
+//
+//   - An Arena serves ONE run at a time. Concurrent runs need one Arena
+//     each (or nil to fall back to plain allocation).
+//   - Buffers handed out are owned by the arena: the NEXT run that begins
+//     on the same arena recycles them. In particular a Result.Labels slice
+//     produced by an arena-backed run is invalidated by the next run —
+//     callers that retain results across runs must copy, exactly as a
+//     serving snapshot would.
+//   - The zero value and the nil pointer are both valid and mean "no
+//     reuse": every acquisition falls back to a fresh allocation.
+//
+// Acquired buffers arrive in a defined state: Uint32s contents are
+// UNSPECIFIED (every kernel fully initializes its arrays), Worklists are
+// fully reset (no marks, empty lists), Bitmaps are cleared.
+type Arena struct {
+	u32  []arenaU32
+	sets []*worklist.Set
+	bms  []*bitmap.Bitmap
+	// Watermarks: how many of each kind the current run has acquired.
+	// BeginRun rewinds them so the next run recycles from the start.
+	u32n, setsN, bmsN int
+}
+
+type arenaU32 struct{ buf []uint32 }
+
+// BeginRun rewinds the arena so the next kernel acquisitions recycle the
+// buffers of the previous run. cc.RunContext calls it once per run; kernels
+// never do.
+func (a *Arena) BeginRun() {
+	if a == nil {
+		return
+	}
+	a.u32n, a.setsN, a.bmsN = 0, 0, 0
+}
+
+// Uint32s returns a length-n uint32 buffer with unspecified contents. The
+// caller must fully initialize it (all kernels do: labels via parallel.Fill,
+// union-find parents via iota fills).
+func (a *Arena) Uint32s(n int) []uint32 {
+	if a == nil {
+		return make([]uint32, n)
+	}
+	if a.u32n < len(a.u32) {
+		slot := &a.u32[a.u32n]
+		a.u32n++
+		if cap(slot.buf) < n {
+			slot.buf = make([]uint32, n)
+		}
+		return slot.buf[:n]
+	}
+	buf := make([]uint32, n)
+	a.u32 = append(a.u32, arenaU32{buf: buf})
+	a.u32n = len(a.u32)
+	return buf
+}
+
+// Worklist returns a fully reset worklist.Set for vertex ids [0, n) with the
+// given thread count. A recycled set is reused only when its capacity and
+// thread count match; otherwise it is replaced (a pool-size change mid-arena
+// is rare and costs one reallocation, not a correctness hazard).
+func (a *Arena) Worklist(n, threads int) *worklist.Set {
+	if a == nil {
+		return worklist.New(n, threads)
+	}
+	if a.setsN < len(a.sets) {
+		s := a.sets[a.setsN]
+		if s.Cap() == n && s.Threads() == threads {
+			a.setsN++
+			s.ResetFull()
+			return s
+		}
+		s = worklist.New(n, threads)
+		a.sets[a.setsN] = s
+		a.setsN++
+		return s
+	}
+	s := worklist.New(n, threads)
+	a.sets = append(a.sets, s)
+	a.setsN = len(a.sets)
+	return s
+}
+
+// Bitmap returns a cleared bitmap of capacity n bits.
+func (a *Arena) Bitmap(n int) *bitmap.Bitmap {
+	if a == nil {
+		return bitmap.New(n)
+	}
+	if a.bmsN < len(a.bms) {
+		b := a.bms[a.bmsN]
+		if b.Len() == n {
+			a.bmsN++
+			b.Reset()
+			return b
+		}
+		b = bitmap.New(n)
+		a.bms[a.bmsN] = b
+		a.bmsN++
+		return b
+	}
+	b := bitmap.New(n)
+	a.bms = append(a.bms, b)
+	a.bmsN = len(a.bms)
+	return b
+}

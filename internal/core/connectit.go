@@ -28,7 +28,7 @@ const connectItKOutRounds = 2
 func ConnectItKOut(g *graph.Graph, cfg Config) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
-	comp := make([]uint32, n)
+	comp := cfg.Arena.Uint32s(n)
 	parallel.Fill(pool, comp, func(i int) uint32 { return uint32(i) })
 	if n == 0 {
 		return Result{Labels: comp}
@@ -88,7 +88,7 @@ func ConnectItKOut(g *graph.Graph, cfg Config) Result {
 func ConnectItBFS(g *graph.Graph, cfg Config) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
-	comp := make([]uint32, n)
+	comp := cfg.Arena.Uint32s(n)
 	parallel.Fill(pool, comp, func(i int) uint32 { return uint32(i) })
 	if n == 0 {
 		return Result{Labels: comp}
@@ -101,7 +101,7 @@ func ConnectItBFS(g *graph.Graph, cfg Config) Result {
 	// comp is identity-initialized, so run the BFS on a scratch array and
 	// fold the reached set into comp as a depth-1 star.
 	hub := g.MaxDegreeVertex()
-	scratch := make([]uint32, n)
+	scratch := cfg.Arena.Uint32s(n)
 	parallel.Fill(pool, scratch, func(i int) uint32 { return bfsUnset })
 	var explored int64
 	levels := bfsFrom(g, cfg, pool, scratch, hub, &explored)

@@ -53,6 +53,10 @@ type Config struct {
 	// perturbations (and optionally a panic) at the instrumentation hook
 	// points. Chaos tests only; mutually exclusive with Ctr/Lines/Trace.
 	Faults *FaultPlan
+	// Arena, when non-nil, supplies the run's working buffers (labels,
+	// worklists, bitmaps) from a reusable pool instead of fresh allocations;
+	// see Arena. nil keeps the allocate-per-run behaviour.
+	Arena *Arena
 
 	// The remaining fields are Thrifty ablation/tuning switches; the zero
 	// values select the paper's algorithm.

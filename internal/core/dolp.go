@@ -22,17 +22,19 @@ type frontierState struct {
 }
 
 // recount recomputes the active vertex and edge totals from the bitmap.
+// The scan is word-at-a-time (TrailingZeros64 drain): after the first few
+// iterations the frontier is sparse, so most 64-bit words are zero and cost
+// one load instead of 64 per-bit probes.
 func (f *frontierState) recount(pool *parallel.Pool, g *graph.Graph) {
 	n := g.NumVertices()
+	offs := g.Offsets()
 	var av, ae int64
 	parallel.For(pool, n, 4096, func(_, lo, hi int) {
 		var v, e int64
-		for i := lo; i < hi; i++ {
-			if f.bm.Get(i) {
-				v++
-				e += int64(g.Degree(uint32(i)))
-			}
-		}
+		f.bm.ForEachRange(lo, hi, func(i int) {
+			v++
+			e += offs[i+1] - offs[i]
+		})
 		atomicx.AddInt64(&av, v)
 		atomicx.AddInt64(&ae, e)
 	})
@@ -49,19 +51,16 @@ func (f *frontierState) density(g *graph.Graph) float64 {
 }
 
 // extract gathers the set bits into a vertex list (dense→sparse frontier
-// conversion before a push iteration).
+// conversion before a push iteration), word-at-a-time via AppendRange: a
+// push iteration only runs when the frontier is below the density threshold,
+// which is exactly when most bitmap words are zero and the drain loop skips
+// them in one branch each.
 func (f *frontierState) extract(pool *parallel.Pool) []uint32 {
 	threads := pool.Threads()
 	partial := make([][]uint32, threads)
 	n := f.bm.Len()
 	parallel.For(pool, n, 8192, func(tid, lo, hi int) {
-		buf := partial[tid]
-		for i := lo; i < hi; i++ {
-			if f.bm.Get(i) {
-				buf = append(buf, uint32(i))
-			}
-		}
-		partial[tid] = buf //thrifty:benign-race per-thread collection buffer indexed by tid
+		partial[tid] = f.bm.AppendRange(partial[tid], lo, hi) //thrifty:benign-race per-thread collection buffer indexed by tid
 	})
 	out := make([]uint32, 0, f.activeV)
 	for _, p := range partial {
@@ -92,15 +91,15 @@ func dolpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
 	threshold := cfg.threshold(DefaultDOLPThreshold)
-	oldLbs := make([]uint32, n)
-	newLbs := make([]uint32, n)
+	oldLbs := cfg.Arena.Uint32s(n)
+	newLbs := cfg.Arena.Uint32s(n)
 
 	// Initial label assignment (lines 2-4): both arrays get the vertex id,
 	// and every vertex starts active.
 	parallel.Fill(pool, oldLbs, func(i int) uint32 { return uint32(i) })
 	parallel.Copy(pool, newLbs, oldLbs)
-	oldFr := frontierState{bm: bitmap.New(n)}
-	newFr := frontierState{bm: bitmap.New(n)}
+	oldFr := frontierState{bm: cfg.Arena.Bitmap(n)}
+	newFr := frontierState{bm: cfg.Arena.Bitmap(n)}
 	oldFr.bm.SetAll()
 	oldFr.activeV = int64(n)
 	oldFr.activeE = g.NumDirectedEdges()

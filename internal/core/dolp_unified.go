@@ -5,7 +5,6 @@ import (
 
 	"thriftylp/graph"
 	"thriftylp/internal/atomicx"
-	"thriftylp/internal/bitmap"
 	"thriftylp/internal/counters"
 	"thriftylp/internal/parallel"
 )
@@ -36,11 +35,11 @@ func dolpUnifiedRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
 	threshold := cfg.threshold(DefaultDOLPThreshold)
-	labels := make([]uint32, n)
+	labels := cfg.Arena.Uint32s(n)
 	parallel.Fill(pool, labels, func(i int) uint32 { return uint32(i) })
 
-	oldFr := frontierState{bm: bitmap.New(n)}
-	newFr := frontierState{bm: bitmap.New(n)}
+	oldFr := frontierState{bm: cfg.Arena.Bitmap(n)}
+	newFr := frontierState{bm: cfg.Arena.Bitmap(n)}
 	oldFr.bm.SetAll()
 	oldFr.activeV = int64(n)
 	oldFr.activeE = g.NumDirectedEdges()

@@ -29,8 +29,8 @@ func LP(g *graph.Graph, cfg Config) Result {
 func lpRun[I instr[I]](g *graph.Graph, cfg Config, proto I) Result {
 	pool := cfg.pool()
 	n := g.NumVertices()
-	oldLbs := make([]uint32, n)
-	newLbs := make([]uint32, n)
+	oldLbs := cfg.Arena.Uint32s(n)
+	newLbs := cfg.Arena.Uint32s(n)
 	parallel.Fill(pool, oldLbs, func(i int) uint32 { return uint32(i) })
 	parallel.Copy(pool, newLbs, oldLbs)
 	sch := newScheduler(g, cfg, pool)

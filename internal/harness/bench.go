@@ -30,6 +30,9 @@ type RunConfig struct {
 	// from the timed repetitions so tracing never perturbs the reported
 	// fast-path numbers.
 	Trace *obs.TraceWriter
+	// Algos, when non-empty, restricts BenchRegression to these algorithms
+	// (ccbench -algo). Empty keeps the default regression set.
+	Algos []cc.Algorithm
 }
 
 func (c RunConfig) ctx() context.Context {

@@ -40,15 +40,17 @@ func RegressionFixtures() []RegressionFixture {
 }
 
 // regressionAlgos are the traversal kernels sharing the instrumentation-
-// policy design; all are timed so a fast-path regression in any kernel is
-// visible, not just in the headline algorithm.
+// policy design, plus the auto selector; all are timed so a fast-path
+// regression in any kernel — or a bad selector decision — is visible, not
+// just in the headline algorithm.
 var regressionAlgos = []cc.Algorithm{
-	cc.AlgoThrifty, cc.AlgoDOLP, cc.AlgoDOLPUnified, cc.AlgoLP,
+	cc.AlgoThrifty, cc.AlgoDOLP, cc.AlgoDOLPUnified, cc.AlgoLP, cc.AlgoAuto,
 }
 
 // BenchSchema identifies the BENCH_thrifty.json layout. v2 added the host
-// stamp (cpus, Go version, platform) and per-record phase breakdowns.
-const BenchSchema = "thriftylp/bench/v2"
+// stamp (cpus, Go version, platform) and per-record phase breakdowns; v3
+// added the auto-selector rows and their "selected" field.
+const BenchSchema = "thriftylp/bench/v3"
 
 // BenchRecord is one (algorithm, dataset) measurement.
 type BenchRecord struct {
@@ -60,6 +62,9 @@ type BenchRecord struct {
 	NsPerRun    int64   `json:"ns_per_run"`
 	EdgesPerSec float64 `json:"edges_per_sec"`
 	Reps        int     `json:"reps"`
+	// Selected is the concrete algorithm an "auto" row resolved to (its
+	// NsPerRun includes the probe); empty on direct rows.
+	Selected string `json:"selected,omitempty"`
 	// PushIterations/PullIterations decompose Iterations by direction, and
 	// PhaseNs breaks the (last timed) run's wall time down per iteration
 	// kind — both from the always-on RunStats, so recording them does not
@@ -163,12 +168,16 @@ func BenchRegression(cfg RunConfig) (BenchReport, error) {
 		Schema:    BenchSchema,
 		HostStamp: currentHostStamp(cfg.Threads),
 	}
+	algos := regressionAlgos
+	if len(cfg.Algos) > 0 {
+		algos = cfg.Algos
+	}
 	for _, f := range RegressionFixtures() {
 		g, err := f.Build()
 		if err != nil {
 			return BenchReport{}, fmt.Errorf("building %s: %w", f.Name, err)
 		}
-		for _, a := range regressionAlgos {
+		for _, a := range algos {
 			best, res, err := TimeAlgorithm(a, g, cfg)
 			if err != nil {
 				return BenchReport{}, fmt.Errorf("%s on %s: %w", a, f.Name, err)
@@ -191,6 +200,9 @@ func BenchRegression(cfg RunConfig) (BenchReport, error) {
 					rec.PhaseNs[kind] = d.Nanoseconds()
 				}
 			}
+			if res.Stats != nil {
+				rec.Selected = string(res.Stats.Selected)
+			}
 			rep.Records = append(rep.Records, rec)
 			if cfg.Trace != nil {
 				// One extra instrumented run per cell, outside the timed
@@ -209,7 +221,12 @@ func BenchRegression(cfg RunConfig) (BenchReport, error) {
 // records to cfg.Trace.
 func traceCell(a cc.Algorithm, g *graph.Graph, dataset string, cfg RunConfig) error {
 	inst := &cc.Instrumentation{}
-	if _, err := cc.RunContext(cfg.ctx(), a, g, cfg.opts(cc.WithInstrumentation(inst))...); err != nil {
+	res, err := cc.RunContext(cfg.ctx(), a, g, cfg.opts(cc.WithInstrumentation(inst))...)
+	if err != nil {
+		return err
+	}
+	// Auto runs additionally record which algorithm the probe chose and why.
+	if err := cfg.Trace.WriteSelector(dataset, 0, res.Stats); err != nil {
 		return err
 	}
 	return cfg.Trace.WriteRun(string(a), dataset, 0, inst.Iterations)
@@ -231,8 +248,12 @@ func (r BenchReport) Render() string {
 	out += fmt.Sprintf("%-14s %-16s %10s %12s %6s %12s\n",
 		"algorithm", "dataset", "ms/run", "Medges/s", "iters", "edges")
 	for _, rec := range r.Records {
+		algo := rec.Algorithm
+		if rec.Selected != "" {
+			algo += ":" + rec.Selected
+		}
 		out += fmt.Sprintf("%-14s %-16s %10.3f %12.1f %6d %12d\n",
-			rec.Algorithm, rec.Dataset,
+			algo, rec.Dataset,
 			float64(rec.NsPerRun)/float64(time.Millisecond),
 			rec.EdgesPerSec/1e6, rec.Iterations, rec.Edges)
 	}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"thriftylp/cc"
+)
+
+// TestSelectorGoldenPicks runs cc.AlgoAuto once per selector fixture and
+// pins the decision to the family's golden algorithm. Always on: one auto
+// run per family is cheap, and a policy or probe change that flips a family
+// must update the golden (with re-measurement, per DESIGN.md).
+func TestSelectorGoldenPicks(t *testing.T) {
+	for _, f := range SelectorFixtures() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			g, err := f.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cc.Run(cc.AlgoAuto, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Selected != f.Expect {
+				t.Fatalf("selected %s (reason %q), golden is %s",
+					res.Stats.Selected, res.Stats.Probe.Reason, f.Expect)
+			}
+		})
+	}
+}
+
+// TestSelectorMatrixWithinTolerance is the timed acceptance matrix: on
+// every family, the auto run (probe included) must land within 5% of the
+// fastest candidate, plus a 2ms absolute slack absorbing scheduler noise on
+// cells whose absolute runtimes are tiny. Timing assertions are inherently
+// machine-sensitive, so the test only runs when THRIFTY_SELECTOR_MATRIX=1
+// (the CI selector-matrix job sets it; tier-1 `go test ./...` stays
+// deterministic).
+func TestSelectorMatrixWithinTolerance(t *testing.T) {
+	if os.Getenv("THRIFTY_SELECTOR_MATRIX") != "1" {
+		t.Skip("set THRIFTY_SELECTOR_MATRIX=1 to run the timed selector matrix")
+	}
+	cells, err := SelectorMatrix(RunConfig{Reps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderSelectorCells(cells))
+	const (
+		relTolerance = 1.05
+		absSlackNs   = 2_000_000 // 2ms
+	)
+	for _, c := range cells {
+		limit := int64(float64(c.BestNs)*relTolerance) + absSlackNs
+		if c.AutoNs > limit {
+			t.Errorf("%s: auto %dns (selected %s) exceeds best %s %dns beyond tolerance (limit %dns)",
+				c.Dataset, c.AutoNs, c.Selected, c.BestAlgo, c.BestNs, limit)
+		}
+	}
+}
+
+// TestSelectorProbeOverhead asserts the acceptance bound on probe cost:
+// under 2% of the full auto run on the medium regression fixtures.
+// Env-gated with the matrix — it is a timing assertion too.
+func TestSelectorProbeOverhead(t *testing.T) {
+	if os.Getenv("THRIFTY_SELECTOR_MATRIX") != "1" {
+		t.Skip("set THRIFTY_SELECTOR_MATRIX=1 to run the timed probe-overhead check")
+	}
+	for _, f := range RegressionFixtures() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			g, err := f.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			best, res, err := TimeAlgorithm(cc.AlgoAuto, g, RunConfig{Reps: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := res.Stats.Probe.Cost
+			if float64(probe) > 0.02*float64(best) {
+				t.Errorf("probe cost %v is %.1f%% of the %v auto run (bound 2%%)",
+					probe, 100*float64(probe)/float64(best), best)
+			}
+		})
+	}
+}

@@ -47,6 +47,20 @@ type TraceRecord struct {
 	// omitted) on iteration records, so the schema id is unchanged.
 	LoadNs  int64 `json:"load_ns,omitempty"`
 	BuildNs int64 `json:"build_ns,omitempty"`
+	// Selector-record fields (Kind "select", written by WriteSelector for
+	// cc.AlgoAuto runs): the concrete algorithm chosen, the decision rule
+	// that fired, and the probe values the rule fired on. Additive: absent
+	// on iteration and ingest records, so the schema id is unchanged.
+	Selected       string  `json:"selected,omitempty"`
+	Reason         string  `json:"reason,omitempty"`
+	ProbeVertices  int     `json:"probe_vertices,omitempty"`
+	ProbeEdges     int64   `json:"probe_edges,omitempty"`
+	ProbeSkew      float64 `json:"probe_skew,omitempty"`
+	ProbeHubFrac   float64 `json:"probe_hub_frac,omitempty"`
+	ProbeMeanDeg   float64 `json:"probe_mean_deg,omitempty"`
+	ProbeAlpha     float64 `json:"probe_alpha,omitempty"`
+	ProbeCoverage  float64 `json:"probe_coverage,omitempty"`
+	ProbeLargestCC float64 `json:"probe_largest_cc,omitempty"`
 }
 
 // traceFromIteration converts one iteration's stats to its external form.
@@ -128,6 +142,35 @@ func (t *TraceWriter) WriteIngest(dataset string, loadNs, buildNs int64) error {
 		LoadNs:     loadNs,
 		BuildNs:    buildNs,
 		DurationNs: loadNs + buildNs,
+	})
+}
+
+// WriteSelector appends one algorithm-selection record for an auto run:
+// Kind "select", Algo "auto", the chosen algorithm, the rule that fired,
+// the probe values it fired on, and the probe's cost in DurationNs. No-op
+// when the run carries no probe (i.e. was not an AlgoAuto run).
+func (t *TraceWriter) WriteSelector(dataset string, run int, st *cc.RunStats) error {
+	if st == nil || st.Probe == nil {
+		return nil
+	}
+	p := st.Probe
+	return t.Write(TraceRecord{
+		Schema:         TraceSchema,
+		Algo:           string(st.Algorithm),
+		Dataset:        dataset,
+		Run:            run,
+		Kind:           "select",
+		DurationNs:     p.Cost.Nanoseconds(),
+		Selected:       string(st.Selected),
+		Reason:         p.Reason,
+		ProbeVertices:  p.Vertices,
+		ProbeEdges:     p.DirectedEdges,
+		ProbeSkew:      p.SkewRatio,
+		ProbeHubFrac:   p.HubEdgeFraction,
+		ProbeMeanDeg:   p.MeanDegree,
+		ProbeAlpha:     p.SampleAlpha,
+		ProbeCoverage:  p.SampleCoverage,
+		ProbeLargestCC: p.LargestSampleComponent,
 	})
 }
 

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"thriftylp/graph/gen"
+)
+
+func TestProbeEmptyGraph(t *testing.T) {
+	p := ProbeGraph(mustGraph(gen.Empty(0)), ProbeOptions{})
+	if p.Vertices != 0 || p.SampleSize != 0 {
+		t.Fatalf("empty probe: %+v", p)
+	}
+	if math.IsNaN(p.SkewRatio) || math.IsNaN(p.MeanDegree) {
+		t.Fatalf("empty probe produced NaN: %+v", p)
+	}
+}
+
+func TestProbeExactFieldsOnStar(t *testing.T) {
+	// Star(1001): hub degree 1000, 2000 directed slots. The hub holds half
+	// of all slots — the signature the selector uses to spot star-like
+	// graphs.
+	p := ProbeGraph(mustGraph(gen.Star(1001)), ProbeOptions{})
+	if p.MaxDegree != 1000 {
+		t.Fatalf("MaxDegree = %d", p.MaxDegree)
+	}
+	if math.Abs(p.HubEdgeFraction-0.5) > 1e-9 {
+		t.Fatalf("HubEdgeFraction = %v, want 0.5", p.HubEdgeFraction)
+	}
+	if p.SkewRatio < 100 {
+		t.Fatalf("SkewRatio = %v, want extreme", p.SkewRatio)
+	}
+}
+
+func TestProbeExhaustiveOnSmallGraph(t *testing.T) {
+	// Graphs no bigger than the sample budget are probed exhaustively, so
+	// sampled estimates equal the exact full-scan statistics.
+	g := mustGraph(gen.Grid(gen.GridConfig{Rows: 20, Cols: 20}))
+	p := ProbeGraph(g, ProbeOptions{})
+	full := Degrees(g)
+	if p.SampleSize != 400 || p.SampleCoverage != 1 {
+		t.Fatalf("coverage: %+v", p)
+	}
+	if math.Abs(p.SampleMeanDegree-full.Mean) > 1e-9 {
+		t.Fatalf("sampled mean %v != exact %v", p.SampleMeanDegree, full.Mean)
+	}
+	if p.SampleP99 != full.P99 {
+		t.Fatalf("sampled p99 %d != exact %d", p.SampleP99, full.P99)
+	}
+	// A connected grid's k-out hint must report one dominant cluster.
+	if p.LargestSampleComponent < 0.9 {
+		t.Fatalf("grid LargestSampleComponent = %v, want ~1", p.LargestSampleComponent)
+	}
+}
+
+func TestProbeConnectivityHintFragmented(t *testing.T) {
+	// 7 disjoint 13-cliques: the k-out hint must see 7 equal clusters.
+	p := ProbeGraph(mustGraph(gen.Components(7, 13)), ProbeOptions{})
+	if p.SampleCoverage < 0.5 {
+		t.Fatalf("fixture unexpectedly larger than sample budget: %+v", p)
+	}
+	want := 13.0 / 91.0
+	if math.Abs(p.LargestSampleComponent-want) > 1e-9 {
+		t.Fatalf("LargestSampleComponent = %v, want %v", p.LargestSampleComponent, want)
+	}
+}
+
+func TestProbeSkipsConnectivityHintOnLargeGraphs(t *testing.T) {
+	// A sparse sample of a large graph is vacuously fragmented; the hint
+	// must be absent (0) rather than misleading.
+	g := mustGraph(gen.ErdosRenyi(1<<15, 1<<17, 9))
+	p := ProbeGraph(g, ProbeOptions{})
+	if p.SampleCoverage >= 0.5 {
+		t.Fatalf("coverage = %v, want sparse", p.SampleCoverage)
+	}
+	if p.LargestSampleComponent != 0 || p.EdgeSamples != 0 {
+		t.Fatalf("hint populated on sparse sample: %+v", p)
+	}
+}
+
+func TestProbeDeterministic(t *testing.T) {
+	g := mustGraph(gen.RMATCompact(gen.DefaultRMAT(14, 8, 5)))
+	a := ProbeGraph(g, ProbeOptions{})
+	b := ProbeGraph(g, ProbeOptions{})
+	a.Cost, b.Cost = 0, 0
+	if a != b {
+		t.Fatalf("probe not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestProbeSkewAgreesWithFullScan(t *testing.T) {
+	// The probe's O(1) skew classification must agree with the full-scan
+	// IsSkewed split on the suite's canonical families.
+	rmat := mustGraph(gen.RMATCompact(gen.DefaultRMAT(14, 16, 21)))
+	if p := ProbeGraph(rmat, ProbeOptions{}); p.SkewRatio < 20 {
+		t.Fatalf("rmat probe skew = %v, want >= 20", p.SkewRatio)
+	}
+	road := mustGraph(gen.Road(100000, 21))
+	if p := ProbeGraph(road, ProbeOptions{}); p.SkewRatio >= 20 {
+		t.Fatalf("road probe skew = %v, want < 20", p.SkewRatio)
+	}
+}
+
+func TestProbeIsCheap(t *testing.T) {
+	// The whole point: probing a medium graph must cost microseconds, not a
+	// traversal. Allow a generous bound to stay robust on loaded CI boxes.
+	g := mustGraph(gen.RMATCompact(gen.DefaultRMAT(16, 16, 42)))
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < 5; i++ {
+		p := ProbeGraph(g, ProbeOptions{})
+		if p.Cost < best {
+			best = p.Cost
+		}
+	}
+	if best > 5*time.Millisecond {
+		t.Fatalf("probe cost %v, want well under 5ms", best)
+	}
+}

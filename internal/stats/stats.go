@@ -48,15 +48,21 @@ func Degrees(g *graph.Graph) DegreeStats {
 	if s.Mean > 0 {
 		s.SkewRatio = float64(s.Max) / s.Mean
 	}
-	s.AlphaDMin = maxInt(2, int(s.Mean))
+	s.AlphaDMin = max(2, int(s.Mean))
 	s.Alpha = powerLawAlpha(degs, s.AlphaDMin)
 	return s
 }
 
 // powerLawAlpha is the discrete MLE estimator of Clauset-Shalizi-Newman:
 // alpha ≈ 1 + n_tail / Σ ln(d / (dmin - 0.5)) over degrees d >= dmin.
-// Returns 0 when the tail is too small to fit.
+// Returns 0 when the fit is undefined: an empty or too-small tail (< 10
+// degrees at or above dmin), a cutoff below 1 (the - 0.5 shift would make
+// the log argument non-positive), or a degenerate tail whose log-sum
+// vanishes. sortedDegs must be ascending.
 func powerLawAlpha(sortedDegs []int, dmin int) float64 {
+	if len(sortedDegs) == 0 || dmin < 1 {
+		return 0
+	}
 	i := sort.SearchInts(sortedDegs, dmin)
 	tail := sortedDegs[i:]
 	if len(tail) < 10 {
@@ -66,7 +72,10 @@ func powerLawAlpha(sortedDegs []int, dmin int) float64 {
 	for _, d := range tail {
 		lnSum += math.Log(float64(d) / (float64(dmin) - 0.5))
 	}
-	if lnSum == 0 {
+	// Every tail degree is >= dmin >= 1, so each term is >= ln(dmin/(dmin-0.5))
+	// > 0; a non-positive sum can only arise from float underflow on a
+	// degenerate constant-degree tail. Refuse to divide by it.
+	if lnSum <= 0 {
 		return 0
 	}
 	return 1 + float64(len(tail))/lnSum
@@ -129,18 +138,4 @@ func MaxDegreeComponentFraction(g *graph.Graph, labels []uint32) float64 {
 		}
 	}
 	return 100 * float64(count) / float64(len(labels))
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

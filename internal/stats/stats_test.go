@@ -68,6 +68,67 @@ func TestPowerLawAlphaOnSyntheticTail(t *testing.T) {
 	}
 }
 
+func TestPowerLawAlphaSteeperTail(t *testing.T) {
+	// A second pin at a different exponent: P(d) ∝ d^-3 fits alpha ≈ 3.
+	var degs []int
+	for d := 2; d <= 200; d++ {
+		count := int(1e6 * math.Pow(float64(d), -3))
+		for i := 0; i < count; i++ {
+			degs = append(degs, d)
+		}
+	}
+	alpha := powerLawAlpha(degs, 2)
+	if alpha < 2.7 || alpha > 3.3 {
+		t.Fatalf("alpha = %v, want ~3", alpha)
+	}
+}
+
+func TestPowerLawAlphaDegenerateInputs(t *testing.T) {
+	// The estimator must refuse degenerate fits instead of dividing by zero
+	// or taking logs of non-positive arguments.
+	cases := []struct {
+		name string
+		degs []int
+		dmin int
+	}{
+		{"empty", nil, 2},
+		{"zero-length-slice", []int{}, 2},
+		{"dmin-zero", []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 0},
+		{"dmin-negative", []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, -3},
+		{"all-below-cutoff", []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, 2},
+	}
+	for _, tc := range cases {
+		if got := powerLawAlpha(tc.degs, tc.dmin); got != 0 {
+			t.Errorf("%s: alpha = %v, want 0", tc.name, got)
+		}
+		if got := powerLawAlpha(tc.degs, tc.dmin); math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: alpha = %v, want finite", tc.name, got)
+		}
+	}
+	// Constant-degree input: the fit is defined (every d = dmin) and must be
+	// finite, not a division by a vanishing log-sum.
+	constant := make([]int, 64)
+	for i := range constant {
+		constant[i] = 4
+	}
+	if got := powerLawAlpha(constant, 4); math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+		t.Fatalf("constant-degree alpha = %v, want finite non-negative", got)
+	}
+}
+
+func TestDegreesOnAllIsolated(t *testing.T) {
+	// All-zero degrees: Mean 0, and the alpha path must not panic or produce
+	// NaN (its tail is empty).
+	g := mustGraph(gen.Empty(50))
+	s := Degrees(g)
+	if s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("isolated stats: %+v", s)
+	}
+	if s.Alpha != 0 || math.IsNaN(s.SkewRatio) {
+		t.Fatalf("isolated alpha/skew: %+v", s)
+	}
+}
+
 func TestCensus(t *testing.T) {
 	labels := []uint32{0, 0, 0, 5, 5, 9}
 	c := Census(labels)

@@ -157,5 +157,23 @@ func (s *Set) Reset() {
 	}
 }
 
+// ResetFull restores the Set to its freshly constructed state: every mark
+// cleared (a full memclr of the mark array, NOT just the queued vertices),
+// lists truncated, cursors rewound. Reset is the cheap per-iteration path;
+// ResetFull is for recycling a Set whose mark/list relationship is unknown —
+// e.g. an arena handing a previous run's frontier to a new run, where a
+// stale detailed frontier from a bygone push phase may hold marks its
+// (already truncated) lists no longer account for.
+func (s *Set) ResetFull() {
+	clear(s.marked)
+	for t := range s.lists {
+		s.lists[t] = s.lists[t][:0]
+		s.cursors[t].c = 0
+	}
+}
+
+// Cap returns the vertex-id capacity the Set was constructed for.
+func (s *Set) Cap() int { return len(s.marked) }
+
 // Threads returns the number of per-thread lists.
 func (s *Set) Threads() int { return s.threads }
