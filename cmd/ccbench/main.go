@@ -25,6 +25,14 @@
 // to refresh BENCH_ingest.json:
 //
 //	ccbench -ingest-json BENCH_ingest.json -reps 5
+//
+// With -serve-json, ccbench runs the serving load test — a real thriftyd
+// query server (internal/serve) on a loopback listener, driven by concurrent
+// clients across all four query endpoints — and writes per-endpoint QPS and
+// latency percentiles to the given file — `make bench-json` uses this to
+// refresh BENCH_serve.json:
+//
+//	ccbench -serve-json BENCH_serve.json -reps 5
 package main
 
 import (
@@ -53,6 +61,7 @@ func main() {
 		jsonOut = flag.String("json", "", "run the perf-regression suite and write JSON results to this file")
 		algoSel = flag.String("algo", "", "with -json: comma-separated algorithms to time (e.g. 'auto' or 'thrifty,auto'); empty = default regression set")
 		ingOut  = flag.String("ingest-json", "", "run the ingestion regression suite and write JSON results to this file")
+		srvOut  = flag.String("serve-json", "", "run the serving load test and write JSON results to this file")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		trace   = flag.String("trace", "", "with -json: write per-iteration trace records of one instrumented run per cell to this JSONL file")
@@ -126,6 +135,29 @@ func main() {
 		fmt.Print(rep.Render())
 		fmt.Printf("(ingestion suite completed in %v, wrote %s)\n",
 			time.Since(start).Round(time.Millisecond), *ingOut)
+		if *jsonOut == "" && *srvOut == "" {
+			return
+		}
+	}
+
+	if *srvOut != "" {
+		prev, prevErr := harness.ReadServeReport(*srvOut)
+		start := time.Now()
+		rep, err := harness.ServeRegression(cfg)
+		if err != nil {
+			fatalf("serve load test: %v", err)
+		}
+		if err := rep.WriteJSON(*srvOut); err != nil {
+			fatalf("writing %s: %v", *srvOut, err)
+		}
+		if prevErr == nil {
+			for _, line := range rep.HostMismatch(prev) {
+				fmt.Fprintf(os.Stderr, "ccbench: warning: host mismatch vs previous %s: %s\n", *srvOut, line)
+			}
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("(serving load test completed in %v, wrote %s)\n",
+			time.Since(start).Round(time.Millisecond), *srvOut)
 		if *jsonOut == "" {
 			return
 		}

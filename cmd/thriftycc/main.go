@@ -81,7 +81,14 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer srv.Close()
+		// Graceful teardown: an in-flight scrape (a -hold session usually has
+		// one) gets 2s to finish; held sockets past that are aborted by
+		// Shutdown's internal Close fallback.
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			srv.Shutdown(sctx)
+		}()
 		// Printed on stdout so scripts (and the CI smoke job) can discover
 		// the resolved port when -http :0 is used.
 		fmt.Printf("debug server listening on %s\n", srv.URL())

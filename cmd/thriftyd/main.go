@@ -1,0 +1,166 @@
+// Command thriftyd is the long-lived connectivity query server: it ingests
+// a graph once (zero-copy mmap for binary CSR files), solves connected
+// components, and answers component/same/size/census queries over HTTP.
+//
+//	graphgen -gen rmat:18:16 -o social.bin
+//	thriftyd -in social.bin -addr :8080
+//	curl 'localhost:8080/component?v=42'
+//	curl 'localhost:8080/same?u=1&v=2'
+//	curl 'localhost:8080/census'
+//	curl -X POST 'localhost:8080/reload'     # or: kill -HUP <pid>
+//
+// Robustness model (see DESIGN.md §14): queries read an immutable
+// refcounted snapshot; a hot reload (SIGHUP, POST /reload, or -watch)
+// validates and fully re-solves the new file off to the side and swaps it
+// in atomically, rolling back — old snapshot keeps serving, /readyz goes
+// not-ready — on any failure. Admission control sheds load with 429 +
+// Retry-After when the bounded queue saturates. SIGTERM/SIGINT drains in
+// two stages: the first signal stops accepting and waits -drain for
+// in-flight requests (clean exit 0); a second signal aborts immediately
+// with a non-zero exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"thriftylp/cc"
+	"thriftylp/internal/obs"
+	"thriftylp/internal/serve"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "graph file to serve (edge list, or .bin/.csr binary CSR)")
+		addr      = flag.String("addr", ":8080", "query listen address (\":0\" picks a free port)")
+		algo      = flag.String("algo", "auto", "solve algorithm (auto lets the structural probe pick)")
+		maxInFl   = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 4×GOMAXPROCS)")
+		maxQueue  = flag.Int("max-queue", 0, "max queries waiting for a slot before shedding (0 = 4×max-inflight)")
+		queueWait = flag.Duration("queue-wait", 0, "max time a query waits for a slot (0 = 50ms)")
+		deadline  = flag.Duration("deadline", 0, "per-query deadline once admitted (0 = 1s)")
+		drain     = flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+		watch     = flag.Duration("watch", 0, "poll the graph file at this interval and hot-reload on change (0 = off)")
+		httpAd    = flag.String("http", "", "debug server address for /metrics, expvar and pprof (e.g. :6060)")
+		logLvl    = flag.String("log", "info", "structured logging to stderr: off, info or debug")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatalf("need -in <graph file>")
+	}
+
+	log := obs.NopLogger()
+	switch *logLvl {
+	case "off":
+	case "info":
+		log = obs.NewLogger(os.Stderr, slog.LevelInfo, false)
+	case "debug":
+		log = obs.NewLogger(os.Stderr, slog.LevelDebug, false)
+	default:
+		fatalf("-log must be off, info or debug, got %q", *logLvl)
+	}
+
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{
+		Path:           *in,
+		Algo:           cc.Algorithm(*algo),
+		MaxInFlight:    *maxInFl,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		RequestTimeout: *deadline,
+		Registry:       reg,
+		Log:            log,
+	})
+
+	var debug *obs.Server
+	if *httpAd != "" {
+		var err error
+		debug, err = obs.Serve(*httpAd, reg, log)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("debug server listening on %s\n", debug.URL())
+	}
+
+	// Bind before loading so /healthz answers (and the port is printed)
+	// while a big graph ingests; /readyz reports not-ready until the
+	// initial snapshot publishes.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("thriftyd listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Lifecycle signals. SIGHUP = hot reload; SIGTERM/SIGINT = two-stage
+	// drain, mirroring the CLIs' SIGINT handling: first signal graceful,
+	// second immediate.
+	reload := make(chan os.Signal, 1)
+	signal.Notify(reload, syscall.SIGHUP)
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, syscall.SIGTERM, os.Interrupt)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		for range reload {
+			if err := srv.Reload(ctx); err != nil {
+				log.Error("SIGHUP reload failed", "err", err)
+			}
+		}
+	}()
+	if *watch > 0 {
+		go func() { _ = srv.Watch(ctx, *watch) }()
+	}
+
+	if err := srv.Load(ctx); err != nil {
+		// No snapshot to fall back to: an unloadable initial graph is
+		// fatal. (Reload failures later are not — they roll back.)
+		fatalf("initial load: %v", err)
+	}
+
+	select {
+	case sig := <-stop:
+		log.Info("draining", "signal", sig, "grace", *drain)
+		fmt.Printf("thriftyd: %v received, draining (grace %v; signal again to abort)\n", sig, *drain)
+	case err := <-serveErr:
+		fatalf("serve: %v", err)
+	}
+	cancel() // stop the reload watcher before tearing serving state down
+
+	dctx, dcancel := context.WithTimeout(context.Background(), *drain)
+	defer dcancel()
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(dctx) }()
+
+	select {
+	case err := <-drained:
+		if debug != nil {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = debug.Shutdown(sctx)
+			scancel()
+		}
+		if err != nil {
+			fatalf("drain: %v", err)
+		}
+		fmt.Println("thriftyd: drained cleanly")
+	case sig := <-stop:
+		if debug != nil {
+			_ = debug.Close()
+		}
+		fatalf("%v during drain, aborting with in-flight requests", sig)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "thriftyd: "+format+"\n", args...)
+	os.Exit(1)
+}

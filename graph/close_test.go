@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// mappedTestGraph saves testGraph to a temp file and loads it back through
+// LoadBinary, so on capable hosts the result owns a real memory mapping.
+func mappedTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestGraphCloseConcurrent hammers Close from many goroutines: exactly one
+// performs the munmap and none may error or double-unmap (the race detector
+// and the kernel both police the latter).
+func TestGraphCloseConcurrent(t *testing.T) {
+	for rep := 0; rep < 50; rep++ {
+		g := mappedTestGraph(t)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if err := g.Close(); err != nil {
+					t.Errorf("concurrent Close: %v", err)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if g.Mapped() {
+			t.Fatal("graph still mapped after concurrent Close")
+		}
+	}
+}
+
+// TestGraphUseAfterCloseDetection pins the detection contract: Validate on a
+// closed mapped graph returns the frozen error (in every build), and the
+// accessor-side check — compiled into the hot accessors only under the
+// thriftydebug tag — panics with the same error value.
+func TestGraphUseAfterCloseDetection(t *testing.T) {
+	g := mappedTestGraph(t)
+	if !g.Mapped() {
+		// Portable fallback hosts keep heap arrays valid after Close; the
+		// detection contract only exists for mappings.
+		t.Skip("no mmap on this host")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate before Close: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("Validate on a closed mapped graph succeeded")
+	}
+	if !ErrUseAfterClose(err) {
+		t.Fatalf("Validate error = %v, want the use-after-close error", err)
+	}
+	if got := err.Error(); got != "graph: use of mmap-backed graph after Close" {
+		t.Fatalf("use-after-close text drifted (errfreeze contract): %q", got)
+	}
+
+	// The debug accessor check panics with the same error value. mustUsable
+	// is exercised directly so the regression holds in untagged test runs
+	// too; under -tags thriftydebug, Degree/Neighbors/Offsets/Adjacency call
+	// the identical code.
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("mustUsable did not panic on a closed mapped graph")
+			}
+			perr, ok := r.(error)
+			if !ok || !ErrUseAfterClose(perr) {
+				t.Fatalf("mustUsable panicked with %v, want the use-after-close error", r)
+			}
+		}()
+		g.mustUsable()
+	}()
+
+	// Heap graphs never trip the check: their storage outlives Close.
+	h := testGraph(t)
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.usableErr(); err != nil {
+		t.Fatalf("heap graph flagged as unusable after Close: %v", err)
+	}
+	if h.NumVertices() == 0 {
+		t.Fatal("heap graph lost its arrays on Close")
+	}
+}

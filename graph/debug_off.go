@@ -1,0 +1,10 @@
+//go:build !thriftydebug
+
+package graph
+
+// debugClosedChecks gates the use-after-close checks in the hot accessors
+// (Degree, Neighbors, Offsets, Adjacency). It is a build-tag constant so the
+// release build compiles the checks out entirely — the kernels call these
+// accessors per vertex, and even a predictable load+branch is budget the hot
+// path does not have. Build with -tags thriftydebug to turn the checks on.
+const debugClosedChecks = false

@@ -1,0 +1,10 @@
+//go:build thriftydebug
+
+package graph
+
+// debugClosedChecks is on in builds tagged thriftydebug: the accessors panic
+// with errUseAfterClose when touching a mapped graph after Close, turning a
+// latent page fault (or silent garbage read) into a deterministic failure at
+// the offending access. See debug_off.go for why this is a build-tag constant
+// rather than a runtime flag.
+const debugClosedChecks = true

@@ -12,6 +12,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"thriftylp/internal/atomicx"
 
@@ -30,7 +31,25 @@ type Graph struct {
 	adj     []uint32 // neighbour ids; len = 2 × undirected edges (minus self-loop doubling)
 	maxDeg  uint32   // a vertex with maximum degree (smallest id among ties)
 	mapped  []byte   // non-nil when offsets/adj alias an mmap region (see Close)
+
+	// closeGate serializes Close: the first caller to claim it (CAS 0→1)
+	// performs the release, every later or concurrent caller is a no-op.
+	closeGate atomicx.Int32
+	// unmapped is set (before the munmap) once a mapped graph's arrays have
+	// been torn down; it backs Validate's use-after-close error and the
+	// debug-build accessor checks. Never set for heap-backed graphs, whose
+	// storage stays valid after Close.
+	unmapped atomicx.Bool
 }
+
+// errUseAfterClose reports access to a mapped graph whose pages have been
+// released. The string is errfreeze-listed: tests and runbooks match on it.
+var errUseAfterClose = errors.New("graph: use of mmap-backed graph after Close")
+
+// ErrUseAfterClose reports whether err is the use-after-close error a mapped
+// graph returns (from Validate) or panics with (from the accessors, in
+// builds tagged thriftydebug) once Close has released its pages.
+func ErrUseAfterClose(err error) bool { return errors.Is(err, errUseAfterClose) }
 
 // Mapped reports whether the graph's CSR arrays alias a memory-mapped file
 // (the zero-copy LoadBinary path) rather than the heap.
@@ -40,17 +59,44 @@ func (g *Graph) Mapped() bool { return g.mapped != nil }
 // a no-op for heap-backed graphs. After Close the graph — and every slice
 // previously obtained from Offsets, Adjacency, or Neighbors — must not be
 // used: the aliased pages are gone and touching them faults. Close is
-// idempotent. Graphs that are never closed keep their mapping until process
-// exit, which is harmless for the common load-once-run-forever shape.
+// idempotent and safe to call from multiple goroutines: exactly one caller
+// performs the munmap, the rest return nil. What Close does NOT synchronize
+// against is in-flight readers — see the ownership contract in zerocopy.go;
+// long-lived servers must layer reference counting (internal/serve.Snapshot)
+// so the munmap only fires after the last reader is done. Graphs that are
+// never closed keep their mapping until process exit, which is harmless for
+// the common load-once-run-forever shape.
 func (g *Graph) Close() error {
-	if g.mapped == nil {
+	if !g.closeGate.CompareAndSwap(0, 1) {
 		return nil
 	}
 	m := g.mapped
+	if m == nil {
+		return nil
+	}
+	g.unmapped.Store(true)
 	g.mapped = nil
 	g.offsets = nil
 	g.adj = nil
 	return munmapBytes(m)
+}
+
+// usableErr returns errUseAfterClose once a mapped graph's pages have been
+// released, nil otherwise.
+func (g *Graph) usableErr() error {
+	if g.unmapped.Load() {
+		return errUseAfterClose
+	}
+	return nil
+}
+
+// mustUsable panics with errUseAfterClose on a closed mapped graph. It backs
+// the debug-build accessor checks: a deliberate fail-fast panic at the access
+// site beats the page fault (or silent garbage) the stale alias would hit.
+func (g *Graph) mustUsable() {
+	if err := g.usableErr(); err != nil {
+		panic(err)
+	}
 }
 
 // NumVertices returns |V|.
@@ -74,6 +120,9 @@ func (g *Graph) NumEdges() int64 { return (int64(len(g.adj)) + 1) / 2 }
 //
 //thrifty:hotpath
 func (g *Graph) Degree(v uint32) int {
+	if debugClosedChecks {
+		g.mustUsable()
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
@@ -82,17 +131,30 @@ func (g *Graph) Degree(v uint32) int {
 //
 //thrifty:hotpath
 func (g *Graph) Neighbors(v uint32) []uint32 {
+	if debugClosedChecks {
+		g.mustUsable()
+	}
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
 // Offsets returns the CSR offsets array (len NumVertices()+1). The returned
 // slice aliases the graph's storage and must not be modified; it is exposed
 // for edge-balanced partitioning.
-func (g *Graph) Offsets() []int64 { return g.offsets }
+func (g *Graph) Offsets() []int64 {
+	if debugClosedChecks {
+		g.mustUsable()
+	}
+	return g.offsets
+}
 
 // Adjacency returns the raw neighbour array. The returned slice aliases the
 // graph's storage and must not be modified.
-func (g *Graph) Adjacency() []uint32 { return g.adj }
+func (g *Graph) Adjacency() []uint32 {
+	if debugClosedChecks {
+		g.mustUsable()
+	}
+	return g.adj
+}
 
 // MaxDegreeVertex returns a vertex of maximum degree (the smallest id among
 // ties), computed once at construction. This is the vertex Thrifty's Zero
@@ -141,6 +203,9 @@ func (g *Graph) computeMaxDegree(pool *parallel.Pool) {
 // match). It is O(|V|+|E|) time and O(|V|) space and is used by tests and by
 // loaders of untrusted files.
 func (g *Graph) Validate() error {
+	if err := g.usableErr(); err != nil {
+		return err
+	}
 	pool := parallel.Default()
 	if err := g.validateStructure(pool); err != nil {
 		return err

@@ -8,6 +8,33 @@ import "unsafe"
 // paths possible: WriteBinary emits the arrays as raw byte views, and the
 // mmap loader aliases the arrays straight out of the page cache. Big-endian
 // hosts (and non-mmap platforms) take the portable element-wise paths.
+//
+// # Ownership contract for mapped graphs
+//
+// A Graph whose Mapped() is true does not own heap arrays — its offsets and
+// adjacency alias kernel pages that Close returns to the OS with munmap.
+// That makes lifetime part of the API:
+//
+//   - The creator of a mapped Graph (LoadBinary / Ingest) owns it and is the
+//     only party entitled to call Close. Passing the graph to a kernel or a
+//     query does not transfer ownership.
+//   - Close must happen-after every read. Neighbors/Degree/Offsets/Adjacency
+//     and every slice they returned become invalid the instant Close runs;
+//     touching them afterwards is a page fault at best and a silent read of
+//     reused pages at worst. Close itself never blocks waiting for readers —
+//     it cannot see them.
+//   - Single-shot callers (the CLIs) satisfy the contract trivially: load,
+//     run, print, Close (or just exit; an unreleased mapping dies with the
+//     process). Long-lived servers cannot — a reload wants to Close the old
+//     graph while queries may still be reading it — so they must layer a
+//     reference count above the graph and defer Close to the last release.
+//     internal/serve.Snapshot is that layer; do not hand a raw mapped Graph
+//     to concurrently-reloading code.
+//   - Close is idempotent and safe under concurrent Close/Close (one caller
+//     unmaps, the rest no-op). Use-after-close is detected, not tolerated:
+//     Validate returns an errfreeze-frozen error on a closed mapped graph,
+//     and builds tagged thriftydebug make the accessors panic with the same
+//     error at the offending access.
 
 // hostLittleEndian reports whether this host stores integers little-endian,
 // i.e. whether the native layout matches the wire format.

@@ -121,11 +121,30 @@ func CASUint64(addr *uint64, old, new uint64) bool {
 	return atomic.CompareAndSwapUint64(addr, old, new)
 }
 
-// Int64, Uint64 and Bool alias the sync/atomic struct types so value-style
-// atomics also route through this package. Aliases (not definitions) keep
-// method sets and zero-value semantics identical.
+// Int32, Int64, Uint64 and Bool alias the sync/atomic struct types so
+// value-style atomics also route through this package. Aliases (not
+// definitions) keep method sets and zero-value semantics identical.
 type (
+	Int32  = atomic.Int32
 	Int64  = atomic.Int64
 	Uint64 = atomic.Uint64
 	Bool   = atomic.Bool
 )
+
+// Pointer is a typed atomic pointer routed through this package. It wraps
+// sync/atomic.Pointer rather than aliasing it because generic type aliases
+// are not available at this module's language version; the method set is the
+// same. The zero value holds nil.
+type Pointer[T any] struct{ p atomic.Pointer[T] }
+
+// Load returns the current pointer.
+func (p *Pointer[T]) Load() *T { return p.p.Load() }
+
+// Store sets the pointer to v.
+func (p *Pointer[T]) Store(v *T) { p.p.Store(v) }
+
+// Swap sets the pointer to v and returns the previous value.
+func (p *Pointer[T]) Swap(v *T) *T { return p.p.Swap(v) }
+
+// CompareAndSwap executes the compare-and-swap operation on the pointer.
+func (p *Pointer[T]) CompareAndSwap(old, new *T) bool { return p.p.CompareAndSwap(old, new) }

@@ -19,7 +19,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"thriftycc", "graphgen", "ccbench", "ccverify"} {
+	for _, tool := range []string{"thriftycc", "graphgen", "ccbench", "ccverify", "thriftyd"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "thriftylp/cmd/"+tool)
 		cmd.Dir = repoRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {

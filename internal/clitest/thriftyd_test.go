@@ -1,0 +1,228 @@
+package clitest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startThriftyd launches the daemon on a free port and returns its base URL
+// once the listener line appears on stdout. The returned cmd is running; the
+// caller signals and waits it.
+func startThriftyd(t *testing.T, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "thriftyd"),
+		append([]string{"-addr", "127.0.0.1:0", "-log", "off"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "thriftyd listening on ") {
+				lines <- strings.TrimPrefix(sc.Text(), "thriftyd listening on ")
+			}
+		}
+		close(lines)
+	}()
+	select {
+	case url, ok := <-lines:
+		if !ok {
+			t.Fatal("thriftyd exited before printing its listen address")
+		}
+		return cmd, url
+	case <-time.After(30 * time.Second):
+		t.Fatal("thriftyd never printed its listen address")
+	}
+	panic("unreachable")
+}
+
+// waitReady polls /readyz until the initial snapshot publishes.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("thriftyd never became ready")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestThriftydServeQueryDrain is the daemon's end-to-end lifecycle: serve a
+// generated graph, answer every query endpoint, then exit 0 on a single
+// SIGTERM — a clean drain is the acceptance criterion; a non-zero exit is
+// reserved for the forced second signal.
+func TestThriftydServeQueryDrain(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "g.bin")
+	if out, err := run(t, "graphgen", "-gen", "rmat:12:8", "-o", bin); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+
+	cmd, base := startThriftyd(t, "-in", bin)
+	waitReady(t, base)
+
+	for _, q := range []struct{ path, want string }{
+		{"/component?v=0", `"component"`},
+		{"/same?u=0&v=1", `"same"`},
+		{"/census", `"components"`},
+		{"/healthz", "ok"},
+	} {
+		resp, err := http.Get(base + q.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), q.want) {
+			t.Fatalf("GET %s = %d %q, want 200 containing %s", q.path, resp.StatusCode, body, q.want)
+		}
+	}
+	// /size with a component label learned from /component.
+	resp, err := http.Get(base + "/component?v=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Component uint32 `json:"component"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(fmt.Sprintf("%s/size?c=%d", base, doc.Component))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/size for a live component = %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("thriftyd did not drain cleanly on SIGTERM: %v", err)
+	}
+}
+
+// TestThriftydReloadRollback drives the operator loop through the HTTP
+// surface of the built binary: poisoned reload rolls back (500 + not-ready,
+// old answers intact), restored reload recovers (200 + ready).
+func TestThriftydReloadRollback(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.bin")
+	if out, err := run(t, "graphgen", "-gen", "rmat:12:8", "-o", good); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	served := filepath.Join(dir, "served.bin")
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(served, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd, base := startThriftyd(t, "-in", served)
+	waitReady(t, base)
+
+	censusBefore := get200(t, base+"/census")
+
+	if err := os.WriteFile(served, []byte("not a graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st := post(t, base+"/reload"); st != http.StatusInternalServerError {
+		t.Fatalf("poisoned reload = %d, want 500", st)
+	}
+	if st := getStatus(t, base+"/readyz"); st != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after poisoned reload = %d, want 503", st)
+	}
+	if got := get200(t, base+"/census"); got != censusBefore {
+		t.Fatalf("census changed across failed reload:\n%s\nvs\n%s", got, censusBefore)
+	}
+
+	if err := os.WriteFile(served, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st := post(t, base+"/reload"); st != http.StatusOK {
+		t.Fatalf("restored reload = %d, want 200", st)
+	}
+	if st := getStatus(t, base+"/readyz"); st != http.StatusOK {
+		t.Fatalf("/readyz after recovery = %d, want 200", st)
+	}
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("drain after reload cycle: %v", err)
+	}
+}
+
+func get200(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d %q", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func post(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}

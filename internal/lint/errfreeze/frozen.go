@@ -37,6 +37,7 @@ var Frozen = map[string]bool{
 	"graph: reading offsets: %w":                                           true,
 	"graph: subgraph vertex %d out of range [0,%d)":                        true,
 	"graph: unsupported version %d":                                        true,
+	"graph: use of mmap-backed graph after Close":                          true,
 	"graph: vertex %d has out-degree %d but in-degree %d (asymmetric CSR)": true,
 	"graph: vertex id %d is reserved (id space is [0,%d))":                 true,
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"log/slog"
@@ -88,4 +89,31 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Close stops the server immediately (in-flight requests are aborted; the
 // debug server has no graceful-drain requirement).
-func (s *Server) Close() error { return s.srv.Close() }
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	// The listener is closed directly as well: Serve runs on its own
+	// goroutine, so a teardown racing startup can find the listener not yet
+	// tracked by the http.Server — its close must not depend on that.
+	s.ln.Close()
+	return err
+}
+
+// Shutdown drains the server gracefully: the listener closes immediately (no
+// new scrapes), idle keep-alive connections are torn down, and in-flight
+// requests get until ctx's deadline to finish. Held sockets — a client that
+// opened a connection and never completed a request, or a scrape that won't
+// finish — cannot hold Shutdown past the deadline: it returns ctx.Err() and
+// the caller falls back to Close. Shutdown then Close is the teardown
+// sequence thriftycc's -hold uses, and thriftyd mirrors it for its own
+// debug server during drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline hit with connections still open: abort them so the
+		// sockets release now rather than at process exit.
+		s.srv.Close()
+	}
+	// See Close for why the listener is closed directly too.
+	s.ln.Close()
+	return err
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestShutdownGraceful: with no held connections, Shutdown returns promptly
+// and the listener is released (a fresh bind to the same port succeeds).
+func TestShutdownGraceful(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with no connections: %v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Shutdown: %v", err)
+	}
+	ln.Close()
+}
+
+// TestShutdownReleasesHeldSockets: a client that opens a connection and never
+// completes a request (the held-socket case -hold teardown must survive)
+// cannot pin Shutdown past its deadline — Shutdown returns the deadline
+// error, aborts the socket via its Close fallback, and the port is free.
+func TestShutdownReleasesHeldSockets(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	// Hold a raw connection open with a half-written request so the server
+	// counts it as active, not idle (idle connections are closed by Shutdown
+	// without waiting).
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Shutdown returned nil despite a held socket")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Shutdown took %v, want ~the 200ms deadline", elapsed)
+	}
+	// The Close fallback must have released the listener and aborted the
+	// held socket: the port rebinds and the stalled connection is dead.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after deadline Shutdown: %v", err)
+	}
+	ln.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("held socket still alive after Shutdown's Close fallback")
+	}
+}
+
+// TestShutdownAllowsInFlightScrape: a request already being served finishes
+// with a complete response even though Shutdown was called mid-flight. A 1s
+// CPU profile is the slow request — the handler is guaranteed to still be
+// running when Shutdown arrives.
+func TestShutdownAllowsInFlightScrape(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		code int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/debug/pprof/profile?seconds=1")
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && len(body) == 0 {
+			err = errors.New("empty profile body")
+		}
+		done <- result{resp.StatusCode, err}
+	}()
+	// Let the profile request reach its handler before shutting down.
+	time.Sleep(200 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown during scrape: %v", err)
+	}
+	r := <-done
+	if r.err != nil || r.code != http.StatusOK {
+		t.Fatalf("in-flight scrape got (%d, %v), want complete 200", r.code, r.err)
+	}
+}

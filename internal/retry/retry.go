@@ -1,0 +1,122 @@
+// Package retry is a small context-aware retry helper: capped exponential
+// backoff with proportional jitter. It exists for the places in the serving
+// stack where an operation is expected to succeed *eventually* — a reload
+// watcher re-reading a file that is mid-write, a load-test client riding
+// through 429 shedding — and where naive tight retries would either spin or
+// synchronize into stampedes (the jitter breaks lockstep between clients).
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy describes a backoff schedule. The zero value is usable: 10ms
+// initial delay, doubling, capped at 1s, ±20% jitter, unlimited attempts.
+type Policy struct {
+	// Initial is the delay after the first failure (default 10ms).
+	Initial time.Duration
+	// Max caps the delay between attempts (default 1s).
+	Max time.Duration
+	// Multiplier grows the delay each failure (default 2; values < 1 are
+	// treated as the default).
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized symmetrically around
+	// it: delay × (1 ± Jitter×u) for uniform u in [0,1). Negative disables
+	// jitter; zero means the default 0.2. Values are clamped to [0,1].
+	Jitter float64
+	// Attempts bounds how many times the operation runs (not how many
+	// retries); 0 means unlimited — the context is then the only exit.
+	Attempts int
+
+	// randFloat is the jitter source seam for deterministic tests; nil
+	// uses math/rand's shared source.
+	randFloat func() float64
+}
+
+func (p Policy) initial() time.Duration {
+	if p.Initial > 0 {
+		return p.Initial
+	}
+	return 10 * time.Millisecond
+}
+
+func (p Policy) max() time.Duration {
+	if p.Max > 0 {
+		return p.Max
+	}
+	return time.Second
+}
+
+func (p Policy) multiplier() float64 {
+	if p.Multiplier >= 1 {
+		return p.Multiplier
+	}
+	return 2
+}
+
+func (p Policy) jitter() float64 {
+	switch {
+	case p.Jitter < 0:
+		return 0
+	case p.Jitter == 0:
+		return 0.2
+	case p.Jitter > 1:
+		return 1
+	default:
+		return p.Jitter
+	}
+}
+
+// Delay returns the backoff before attempt n (0-based: Delay(0) precedes
+// the second run of the operation), jitter included. The un-jittered
+// schedule is Initial × Multiplier^n, capped at Max; jitter can stretch a
+// delay at most to its double and never past 2×Max.
+func (p Policy) Delay(n int) time.Duration {
+	d := float64(p.initial())
+	mult, cap := p.multiplier(), float64(p.max())
+	for i := 0; i < n && d < cap; i++ {
+		d *= mult
+	}
+	if d > cap {
+		d = cap
+	}
+	if j := p.jitter(); j > 0 {
+		r := p.randFloat
+		if r == nil {
+			r = rand.Float64
+		}
+		d *= 1 + j*(2*r()-1)
+	}
+	return time.Duration(d)
+}
+
+// Do runs op until it succeeds, the policy's attempts run out, or ctx ends.
+// Between failures it sleeps the jittered backoff, abandoning the sleep the
+// moment ctx is done. The returned error is the last op error (attempts
+// exhausted), or ctx.Err() when the context ended the loop — whichever
+// fired; op's error is never masked by a context that expired after op
+// already failed terminally.
+func Do(ctx context.Context, p Policy, op func(context.Context) error) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = op(ctx)
+		if lastErr == nil {
+			return nil
+		}
+		if p.Attempts > 0 && attempt+1 >= p.Attempts {
+			return lastErr
+		}
+		t := time.NewTimer(p.Delay(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+}

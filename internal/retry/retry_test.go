@@ -1,0 +1,134 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelaySchedule pins the un-jittered schedule: exponential growth from
+// Initial, capped at Max.
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for n, w := range want {
+		if got := p.Delay(n); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+// TestDelayJitterBounds: with jitter fraction j, every delay stays within
+// base×(1±j), and the cap bounds the base (so nothing exceeds 2×Max even at
+// full jitter).
+func TestDelayJitterBounds(t *testing.T) {
+	seq := []float64{0, 0.25, 0.5, 0.75, 0.999}
+	i := 0
+	p := Policy{
+		Initial: 100 * time.Millisecond, Max: 400 * time.Millisecond, Jitter: 0.5,
+		randFloat: func() float64 { v := seq[i%len(seq)]; i++; return v },
+	}
+	for n := 0; n < 8; n++ {
+		base := 100 * time.Millisecond
+		for k := 0; k < n && base < 400*time.Millisecond; k++ {
+			base *= 2
+		}
+		if base > 400*time.Millisecond {
+			base = 400 * time.Millisecond
+		}
+		d := p.Delay(n)
+		lo, hi := base/2, base+base/2
+		if d < lo || d > hi {
+			t.Errorf("Delay(%d) = %v outside jitter bounds [%v,%v]", n, d, lo, hi)
+		}
+	}
+}
+
+// TestDelayJitterVaries: the default source actually perturbs delays (all
+// equal would mean jitter is silently off).
+func TestDelayJitterVaries(t *testing.T) {
+	p := Policy{Initial: time.Second, Max: time.Second}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		seen[p.Delay(0)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("32 jittered delays produced %d distinct values", len(seen))
+	}
+}
+
+// TestDoAttemptsExhausted: Do stops after Attempts runs and returns the
+// last operation error, not a context error.
+func TestDoAttemptsExhausted(t *testing.T) {
+	boom := errors.New("boom")
+	runs := 0
+	p := Policy{Initial: time.Microsecond, Max: time.Microsecond, Attempts: 3, Jitter: -1}
+	err := Do(context.Background(), p, func(context.Context) error {
+		runs++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the op error", err)
+	}
+	if runs != 3 {
+		t.Fatalf("op ran %d times, want 3", runs)
+	}
+}
+
+// TestDoEventualSuccess: failures back off, success stops the loop.
+func TestDoEventualSuccess(t *testing.T) {
+	runs := 0
+	p := Policy{Initial: time.Microsecond, Max: time.Microsecond, Jitter: -1}
+	err := Do(context.Background(), p, func(context.Context) error {
+		runs++
+		if runs < 4 {
+			return errors.New("not yet")
+		}
+		return nil
+	})
+	if err != nil || runs != 4 {
+		t.Fatalf("err=%v runs=%d, want nil/4", err, runs)
+	}
+}
+
+// TestDoCancellation: a context cancelled mid-backoff ends the loop
+// promptly with the context error, without waiting out the delay.
+func TestDoCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Initial: time.Hour, Max: time.Hour, Jitter: -1}
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		done <- Do(ctx, p, func(context.Context) error {
+			close(started)
+			return errors.New("fail into the hour-long backoff")
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+}
+
+// TestDoPreCancelled: an already-dead context never runs the op.
+func TestDoPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, Policy{}, func(context.Context) error {
+		t.Fatal("op ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"thriftylp/internal/atomicx"
+)
+
+// admission is the load-shedding front door of the query path: a counting
+// semaphore of MaxInFlight slots plus a bounded wait queue. A request either
+// gets a slot immediately, waits up to QueueWait with at most MaxQueue peers
+// also waiting, or is shed. Shedding is deliberate back-pressure: under
+// saturation the server answers 429 with Retry-After in microseconds rather
+// than letting latency collapse for everyone (and rather than letting the
+// Go runtime queue unbounded handler goroutines).
+type admission struct {
+	slots     chan struct{} // capacity = max in-flight requests
+	waiting   atomicx.Int64 // current queue depth
+	maxQueue  int64
+	queueWait time.Duration
+}
+
+func newAdmission(maxInFlight, maxQueue int, queueWait time.Duration) *admission {
+	return &admission{
+		slots:     make(chan struct{}, maxInFlight),
+		maxQueue:  int64(maxQueue),
+		queueWait: queueWait,
+	}
+}
+
+// admit tries to claim an execution slot. On success it returns a release
+// function the caller must invoke exactly once (usually deferred). ok=false
+// means the request was shed — queue full, wait timed out, or the caller's
+// context ended first.
+func (a *admission) admit(ctx context.Context) (release func(), ok bool) {
+	// Fast path: free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, true
+	default:
+	}
+	// Bounded queue: reserve a waiter position or shed immediately. The
+	// add-then-check pattern over-admits by at most the number of racing
+	// requests (each of which backs out), never under-admits.
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return nil, false
+	}
+	defer a.waiting.Add(-1)
+	t := time.NewTimer(a.queueWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, true
+	case <-t.C:
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight returns the number of currently held slots (metrics).
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queued returns the current wait-queue depth (metrics).
+func (a *admission) queued() int64 { return a.waiting.Load() }

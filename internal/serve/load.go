@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+)
+
+// LoadSnapshot builds a ready-to-publish snapshot from a graph file: ingest
+// (zero-copy mmap for binary CSR), full structural validation, and a
+// complete connected-components solve — all off to the side, touching
+// nothing shared. Any failure closes the candidate graph and returns an
+// error; the caller's currently-published snapshot is untouched, which is
+// exactly what makes reload rollback trivial.
+//
+// Validation runs even though the binary loaders validate on ingest: a
+// reload file is untrusted input arriving mid-flight (possibly still being
+// written), and the O(|V|+|E|) symmetry audit is cheap next to the solve
+// that follows.
+func LoadSnapshot(ctx context.Context, path string, algo cc.Algorithm) (*Snapshot, error) {
+	if algo == "" {
+		algo = cc.AlgoAuto
+	}
+	g, ist, err := graph.Ingest(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: ingest %s: %w", path, err)
+	}
+	if err := g.Validate(); err != nil {
+		_ = g.Close()
+		return nil, fmt.Errorf("serve: validate %s: %w", path, err)
+	}
+	res, err := cc.RunContext(ctx, algo, g)
+	if err != nil {
+		_ = g.Close()
+		return nil, fmt.Errorf("serve: solve %s: %w", path, err)
+	}
+	return NewSnapshot(g, res, path, &ist), nil
+}

@@ -1,0 +1,205 @@
+// Package serve is the long-lived connectivity query layer behind
+// cmd/thriftyd: an immutable refcounted Snapshot of one solved graph, a
+// Source that swaps snapshots atomically on hot reload, an admission-
+// controlled HTTP query server, and the reload machinery that validates and
+// fully recomputes a replacement graph off to the side before it ever
+// becomes visible.
+//
+// The package exists to make mmap lifetime safe under concurrency. A mapped
+// graph.Graph dies at Close — see the ownership contract in
+// graph/zerocopy.go — and a reloading server wants to Close the old graph
+// while queries may still be reading it. Snapshot is the reference-counting
+// layer that contract demands: queries acquire, read, release; the munmap
+// fires on the last release after the snapshot has been retired, never
+// under an in-flight reader.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+	"thriftylp/internal/atomicx"
+)
+
+// Snapshot is one immutable solved graph: the CSR, the component labels,
+// the run's telemetry, and the precomputed census every query endpoint
+// reads. Snapshots are never mutated after construction; all sharing is
+// governed by the reference count.
+//
+// Lifecycle: NewSnapshot returns the snapshot holding one reference — the
+// creator's, which a Source takes over on Publish/Swap. Readers add
+// references via Source.Acquire and drop them with Release. When the last
+// reference goes, the underlying graph is closed (for mapped graphs: the
+// munmap). A snapshot whose count has reached zero is dead and can never be
+// re-acquired.
+type Snapshot struct {
+	// Graph is the solved CSR. Mapped graphs alias kernel pages; their
+	// lifetime is exactly this snapshot's reference count.
+	Graph *graph.Graph
+	// Result is the connected-components run the labels came from. Labels
+	// are Result.Labels; Stats carries the solve telemetry.
+	Result cc.Result
+	// Ingest carries the load/build phase timings of this snapshot's
+	// ingestion, nil for generated graphs.
+	Ingest *graph.IngestStats
+	// Path is the file the graph was loaded from (provenance for /census
+	// and logs; empty for handed-in graphs).
+	Path string
+	// Loaded is when the snapshot became ready (construction time).
+	Loaded time.Time
+
+	// sizes is the precomputed component census: label → vertex count.
+	// Computed once at construction so size/census queries are O(1)/O(k)
+	// map reads, never an O(|V|) scan under a request deadline.
+	sizes map[uint32]int64
+	// largestLabel/largestSize cache the giant component.
+	largestLabel uint32
+	largestSize  int64
+
+	// refs is the reference count: one for the owner (creator, then the
+	// Source while the snapshot is current) plus one per in-flight reader.
+	// The transition to zero is the point of no return: exactly one
+	// releaser observes it and closes the graph.
+	refs atomicx.Int64
+}
+
+// NewSnapshot wraps a solved graph into a snapshot holding one (owner)
+// reference. It precomputes the component census; for serving-sized graphs
+// this is one O(|V|) pass paid at load time, off the query path.
+func NewSnapshot(g *graph.Graph, res cc.Result, path string, ist *graph.IngestStats) *Snapshot {
+	s := &Snapshot{
+		Graph:  g,
+		Result: res,
+		Ingest: ist,
+		Path:   path,
+		Loaded: time.Now(),
+		sizes:  res.ComponentSizes(),
+	}
+	for l, n := range s.sizes {
+		if n > s.largestSize || (n == s.largestSize && l < s.largestLabel) {
+			s.largestLabel, s.largestSize = l, n
+		}
+	}
+	s.refs.Store(1)
+	return s
+}
+
+// NumVertices returns the snapshot graph's vertex count.
+func (s *Snapshot) NumVertices() int { return len(s.Result.Labels) }
+
+// ComponentOf returns v's component label. The caller must hold a
+// reference and have bounds-checked v.
+func (s *Snapshot) ComponentOf(v uint32) uint32 { return s.Result.Labels[v] }
+
+// SizeOf returns the vertex count of component label c (0 when c labels no
+// component).
+func (s *Snapshot) SizeOf(c uint32) int64 { return s.sizes[c] }
+
+// NumComponents returns the component count.
+func (s *Snapshot) NumComponents() int { return len(s.sizes) }
+
+// Largest returns the label and size of the largest component.
+func (s *Snapshot) Largest() (label uint32, size int64) {
+	return s.largestLabel, s.largestSize
+}
+
+// Refs returns the current reference count (diagnostics and tests; the
+// value is stale the moment it is read).
+func (s *Snapshot) Refs() int64 { return s.refs.Load() }
+
+// tryRef adds a reference unless the snapshot is already dead (count zero).
+// The CAS loop makes acquire-vs-death race-free: a reader that loaded the
+// snapshot pointer just before a swap retired it either wins the CAS while
+// the count is still positive (and then owns a valid reference — the close
+// cannot have happened) or observes zero and reports failure.
+func (s *Snapshot) tryRef() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference. The caller's right to touch the snapshot —
+// including any slice read out of its graph — ends at this call. The last
+// release closes the graph; for mapped graphs that is the munmap, so the
+// refcount discipline is precisely what keeps Close from firing under a
+// reader (the use-after-close detection in package graph backstops it).
+func (s *Snapshot) Release() {
+	n := s.refs.Add(-1)
+	switch {
+	case n == 0:
+		// Last reference out: exactly one releaser gets n==0.
+		_ = s.Graph.Close()
+	case n < 0:
+		panic(fmt.Sprintf("serve: snapshot over-released (refs %d)", n))
+	}
+}
+
+// Source is the atomically-swappable holder of the current snapshot: the
+// one mutable cell of the serving path. Readers Acquire, the reloader
+// Publishes, shutdown Retires. All methods are safe for concurrent use and
+// the read path is lock-free (one pointer load + one CAS in the common
+// case).
+type Source struct {
+	cur atomicx.Pointer[Snapshot]
+	// swaps counts successful Publish calls (metrics).
+	swaps atomicx.Int64
+}
+
+// Acquire returns the current snapshot with a reference added, or nil when
+// no snapshot is published (before the initial load, or after Retire). The
+// caller must Release exactly once.
+//
+// The retry loop covers the acquire-vs-swap race: if the snapshot read from
+// the pointer dies (swap retired it and the last reference drained) between
+// the load and the refcount CAS, tryRef fails and the loop re-reads the
+// pointer — which now holds the successor. Progress is guaranteed: a failed
+// iteration implies a completed swap, and swaps are rare.
+func (s *Source) Acquire() *Snapshot {
+	for {
+		sn := s.cur.Load()
+		if sn == nil {
+			return nil
+		}
+		if sn.tryRef() {
+			return sn
+		}
+	}
+}
+
+// Current returns the current snapshot without taking a reference. For
+// health/metrics peeks only — the pointer may be retired at any moment, so
+// callers must not touch Graph through it.
+func (s *Source) Current() *Snapshot { return s.cur.Load() }
+
+// Publish makes next the current snapshot, taking over its owner
+// reference, and retires the previous one (dropping the owner reference it
+// held; the old graph closes once its last in-flight reader releases).
+// next must hold an unshared owner reference, i.e. come straight from
+// NewSnapshot.
+func (s *Source) Publish(next *Snapshot) {
+	old := s.cur.Swap(next)
+	s.swaps.Add(1)
+	if old != nil {
+		old.Release()
+	}
+}
+
+// Retire unpublishes the current snapshot (Acquire returns nil afterwards)
+// and drops the owner reference, closing the graph once in-flight readers
+// drain. Used on shutdown, after the HTTP server has stopped accepting.
+func (s *Source) Retire() {
+	if old := s.cur.Swap(nil); old != nil {
+		old.Release()
+	}
+}
+
+// Swaps returns the number of Publish calls (metrics).
+func (s *Source) Swaps() int64 { return s.swaps.Load() }

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"thriftylp/cc"
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+	"thriftylp/internal/atomicx"
+)
+
+// writeTestGraph generates a small deterministic graph and saves it as a
+// binary CSR, returning the path. Loading it back through graph.Ingest (or
+// LoadBinary) yields a mapped graph on capable hosts — which is the point:
+// these tests want real munmap stakes, so a refcount bug is a crash or a
+// race report, not a silent pass.
+func writeTestGraph(t *testing.T, dir, name string, seed uint64) string {
+	t.Helper()
+	g, err := gen.RMATCompact(gen.DefaultRMAT(9, 8, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".bin")
+	if err := graph.SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// loadMapped loads a binary graph and solves it, returning a fresh
+// snapshot holding its owner reference.
+func loadMapped(t *testing.T, path string) *Snapshot {
+	t.Helper()
+	g, err := graph.LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.Run(cc.AlgoThrifty, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSnapshot(g, res, path, nil)
+}
+
+// TestSnapshotCensus pins the precomputed census against the Result's own
+// accounting.
+func TestSnapshotCensus(t *testing.T) {
+	path := writeTestGraph(t, t.TempDir(), "g", 42)
+	sn := loadMapped(t, path)
+	defer sn.Release()
+
+	if got, want := sn.NumComponents(), sn.Result.NumComponents(); got != want {
+		t.Errorf("NumComponents = %d, want %d", got, want)
+	}
+	wantLabel, wantSize := sn.Result.LargestComponent()
+	gotLabel, gotSize := sn.Largest()
+	if gotLabel != wantLabel || gotSize != wantSize {
+		t.Errorf("Largest = (%d,%d), want (%d,%d)", gotLabel, gotSize, wantLabel, wantSize)
+	}
+	var total int64
+	for _, l := range sn.Result.Labels {
+		if sn.SizeOf(l) <= 0 {
+			t.Fatalf("label %d has non-positive size", l)
+		}
+	}
+	for l := range sn.Result.ComponentSizes() {
+		total += sn.SizeOf(l)
+	}
+	if total != int64(sn.NumVertices()) {
+		t.Errorf("sizes sum to %d, want %d vertices", total, sn.NumVertices())
+	}
+}
+
+// TestSourceAcquireRelease pins the single-threaded lifecycle: acquire
+// bumps the count, release drops it, retire drops the owner reference, and
+// the mapped graph closes exactly when the last reference goes.
+func TestSourceAcquireRelease(t *testing.T) {
+	path := writeTestGraph(t, t.TempDir(), "g", 42)
+	sn := loadMapped(t, path)
+	mapped := sn.Graph.Mapped()
+
+	var src Source
+	if got := src.Acquire(); got != nil {
+		t.Fatal("Acquire on empty source returned a snapshot")
+	}
+	src.Publish(sn)
+	if sn.Refs() != 1 {
+		t.Fatalf("published snapshot refs = %d, want 1 (owner)", sn.Refs())
+	}
+
+	a := src.Acquire()
+	if a != sn {
+		t.Fatal("Acquire returned a different snapshot")
+	}
+	if sn.Refs() != 2 {
+		t.Fatalf("refs after acquire = %d, want 2", sn.Refs())
+	}
+
+	src.Retire()
+	if got := src.Acquire(); got != nil {
+		t.Fatal("Acquire after Retire returned a snapshot")
+	}
+	// The reader still holds the last reference: the graph must be alive.
+	if mapped {
+		if err := sn.Graph.Validate(); err != nil {
+			t.Fatalf("graph invalid while a reference is held: %v", err)
+		}
+	}
+	a.Release()
+	if sn.Refs() != 0 {
+		t.Fatalf("refs after final release = %d, want 0", sn.Refs())
+	}
+	if mapped {
+		if err := sn.Graph.Validate(); !graph.ErrUseAfterClose(err) {
+			t.Fatalf("graph not closed after last release: Validate = %v", err)
+		}
+	}
+}
+
+// TestSnapshotOverReleasePanics: a release beyond the acquire count is a
+// caller bug and must fail loudly, not corrupt the count.
+func TestSnapshotOverReleasePanics(t *testing.T) {
+	path := writeTestGraph(t, t.TempDir(), "g", 42)
+	sn := loadMapped(t, path)
+	sn.Release() // owner reference: refs now 0, graph closed
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	sn.Release()
+}
+
+// TestSnapshotLifecycleProperty is the refcount property test: readers
+// acquire and release at random while a swapper publishes fresh mapped
+// snapshots; afterwards, for every snapshot ever published, release-count
+// must equal acquire-count (a release never exceeds the acquires that
+// justified it — over-release would have panicked mid-run), every count
+// must be at zero, and every mapped graph must be closed.
+func TestSnapshotLifecycleProperty(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		writeTestGraph(t, dir, "a", 42),
+		writeTestGraph(t, dir, "b", 43),
+	}
+
+	var src Source
+	var acquires, releases atomicx.Int64
+	published := make([]*Snapshot, 0, 32)
+
+	first := loadMapped(t, paths[0])
+	published = append(published, first)
+	src.Publish(first)
+
+	const readers = 8
+	const swaps = 24
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			held := make([]*Snapshot, 0, 4)
+			defer func() {
+				for _, sn := range held {
+					sn.Release()
+					releases.Add(1)
+				}
+			}()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if len(held) > 0 && rng.Intn(3) == 0 {
+					i := rng.Intn(len(held))
+					held[i].Release()
+					releases.Add(1)
+					held = append(held[:i], held[i+1:]...)
+					continue
+				}
+				sn := src.Acquire()
+				if sn == nil {
+					continue
+				}
+				acquires.Add(1)
+				// Touch the mapped arrays while holding the reference: if
+				// a swap's munmap could fire under us, this faults (and
+				// the racing Close write is a -race report).
+				v := uint32(rng.Intn(sn.NumVertices()))
+				_ = sn.ComponentOf(v)
+				_ = sn.Graph.Neighbors(v)
+				_ = sn.Graph.Mapped()
+				if rng.Intn(2) == 0 {
+					sn.Release()
+					releases.Add(1)
+				} else {
+					held = append(held, sn)
+				}
+			}
+		}(int64(i))
+	}
+
+	for k := 0; k < swaps; k++ {
+		sn := loadMapped(t, paths[k%len(paths)])
+		published = append(published, sn)
+		src.Publish(sn)
+	}
+	src.Retire()
+	close(stop)
+	wg.Wait()
+
+	if a, r := acquires.Load(), releases.Load(); a != r {
+		t.Fatalf("acquires = %d, releases = %d; counts must match after drain", a, r)
+	}
+	for i, sn := range published {
+		if refs := sn.Refs(); refs != 0 {
+			t.Errorf("snapshot %d final refs = %d, want 0", i, refs)
+		}
+		if sn.Graph.Mapped() {
+			t.Errorf("snapshot %d still mapped after final release", i)
+		}
+	}
+}
+
+// TestChaosSwapAcquireRace hammers the acquire-vs-swap window specifically:
+// single-use readers against a tight swap loop, so the race detector gets
+// maximal overlap between tryRef CAS loops and Publish's owner release. Run
+// under -race this is the "munmap never races an in-flight query" proof.
+func TestChaosSwapAcquireRace(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		writeTestGraph(t, dir, "a", 7),
+		writeTestGraph(t, dir, "b", 8),
+	}
+	var src Source
+	src.Publish(loadMapped(t, paths[0]))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := src.Acquire()
+				if sn == nil {
+					return
+				}
+				_ = sn.ComponentOf(0)
+				_ = sn.Graph.Degree(0)
+				sn.Release()
+			}
+		}()
+	}
+	for k := 0; k < 40; k++ {
+		src.Publish(loadMapped(t, paths[k%2]))
+	}
+	src.Retire()
+	close(stop)
+	wg.Wait()
+}

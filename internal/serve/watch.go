@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"time"
+
+	"thriftylp/internal/retry"
+)
+
+// Watch polls cfg.Path every interval and hot-reloads when the file's
+// modification time or size changes. It blocks until ctx ends (its only
+// return value is ctx.Err()), so callers run it on its own goroutine.
+//
+// A changed file is not assumed to be a *finished* file: a writer may still
+// be mid-copy when the poll fires, in which case the reload fails
+// validation and rolls back. Watch therefore retries a failed reload with
+// capped, jittered backoff (a few attempts — by then either the writer
+// finished and the reload lands, or the file is genuinely poisoned and the
+// server stays on the old snapshot, not-ready, until the next change).
+// ErrReloadInProgress is treated as success for the watcher's purposes:
+// someone else is already doing the work.
+func (s *Server) Watch(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	var lastMod time.Time
+	var lastSize int64
+	if st, err := os.Stat(s.cfg.Path); err == nil {
+		lastMod, lastSize = st.ModTime(), st.Size()
+	}
+	pol := retry.Policy{
+		Initial:  interval / 4,
+		Max:      interval,
+		Attempts: 4,
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+		st, err := os.Stat(s.cfg.Path)
+		if err != nil {
+			// File temporarily missing (atomic-rename writers unlink
+			// first): skip this poll, the next one sees the new file.
+			continue
+		}
+		if st.ModTime().Equal(lastMod) && st.Size() == lastSize {
+			continue
+		}
+		lastMod, lastSize = st.ModTime(), st.Size()
+		err = retry.Do(ctx, pol, func(ctx context.Context) error {
+			err := s.Reload(ctx)
+			if err == ErrReloadInProgress {
+				return nil
+			}
+			return err
+		})
+		if err != nil {
+			s.log.Error("watch: reload failed after retries", "path", s.cfg.Path, "err", err)
+		}
+	}
+}

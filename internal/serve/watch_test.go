@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestWatchReloadsOnChange: the poll watcher notices a rewritten file and
+// hot-reloads it; a poisoned write is retried and — once the file is good
+// again on a later change — recovered from.
+func TestWatchReloadsOnChange(t *testing.T) {
+	dir := t.TempDir()
+	aPath := writeTestGraph(t, dir, "a", 42)
+	bPath := writeTestGraph(t, dir, "b", 43)
+	served := filepath.Join(dir, "served.bin")
+	copyFile(t, served, aPath)
+
+	s := New(Config{Path: served})
+	if err := s.Load(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Source().Retire()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan error, 1)
+	go func() { watchDone <- s.Watch(ctx, 10*time.Millisecond) }()
+	// Let the watcher record its mtime baseline before the first rewrite —
+	// a change racing the baseline stat is indistinguishable from it.
+	time.Sleep(100 * time.Millisecond)
+
+	waitSwaps := func(want int64, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Source().Swaps() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("watcher did not %s (swaps=%d, want %d)", what, s.Source().Swaps(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	copyFile(t, served, bPath)
+	waitSwaps(2, "reload the changed file") // 1 = initial load
+	if ready, _ := s.Ready(); !ready {
+		t.Fatal("not ready after watched reload")
+	}
+
+	// Poison the file: the watcher's retries fail, readiness drops, the old
+	// snapshot keeps serving.
+	if err := os.WriteFile(served, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if ready, _ := s.Ready(); !ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never observed the poisoned file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sn := s.Source().Acquire()
+	if sn == nil {
+		t.Fatal("old snapshot gone after poisoned watch reload")
+	}
+	sn.Release()
+
+	// Heal the file: the next change reloads and readiness returns.
+	copyFile(t, served, aPath)
+	waitSwaps(3, "recover from the poisoned file")
+	if ready, reason := s.Ready(); !ready {
+		t.Fatalf("not ready after recovery: %s", reason)
+	}
+
+	cancel()
+	select {
+	case err := <-watchDone:
+		if err != context.Canceled {
+			t.Fatalf("Watch returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch did not stop on cancellation")
+	}
+}
