@@ -49,6 +49,11 @@ func main() {
 		watch     = flag.Duration("watch", 0, "poll the graph file at this interval and hot-reload on change (0 = off)")
 		httpAd    = flag.String("http", "", "debug server address for /metrics, expvar and pprof (e.g. :6060)")
 		logLvl    = flag.String("log", "info", "structured logging to stderr: off, info or debug")
+		slowPath  = flag.String("slowlog", "", "slow-query JSONL span log (thriftylp/trace/v1 Kind:\"request\"/\"reload\" records)")
+		slowThr   = flag.Duration("slow-threshold", 25*time.Millisecond, "minimum request latency for a slow-query record (0 logs every request the rate cap admits)")
+		slowRate  = flag.Int("slow-rate", 10, "max slow-query records per second (0 = uncapped)")
+		wdTick    = flag.Duration("watchdog", 10*time.Second, "runtime watchdog tick interval for GC/heap/goroutine/snapshot gauges (0 = off)")
+		stallDl   = flag.Duration("stall-deadline", time.Minute, "reload running longer than this triggers a watchdog goroutine dump")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -67,6 +72,30 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+
+	// Slow-query span log: every request gets a span; only the ones past
+	// -slow-threshold (rate-capped) are written. thriftyd owns the file —
+	// serve only borrows the SlowLog — so it is closed after the drain below.
+	var slow *obs.SlowLog
+	if *slowPath != "" {
+		tw, err := obs.CreateTrace(*slowPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		slow = obs.NewSlowLog(tw, *slowThr, *slowRate)
+	}
+
+	// Runtime watchdog: periodic GC/heap/goroutine/snapshot gauges plus the
+	// reload stall detector (goroutine dump past -stall-deadline).
+	var dog *obs.Watchdog
+	if *wdTick > 0 {
+		dog = obs.NewWatchdog(obs.WatchdogConfig{
+			Interval: *wdTick,
+			Registry: reg,
+			Log:      log,
+		})
+	}
+
 	srv := serve.New(serve.Config{
 		Path:           *in,
 		Algo:           cc.Algorithm(*algo),
@@ -76,7 +105,13 @@ func main() {
 		RequestTimeout: *deadline,
 		Registry:       reg,
 		Log:            log,
+		SlowLog:        slow,
+		Watchdog:       dog,
+		ReloadDeadline: *stallDl,
 	})
+	if dog != nil {
+		dog.Start()
+	}
 
 	var debug *obs.Server
 	if *httpAd != "" {
@@ -143,6 +178,12 @@ func main() {
 
 	select {
 	case err := <-drained:
+		if dog != nil {
+			dog.Stop()
+		}
+		if slow != nil {
+			_ = slow.Close()
+		}
 		if debug != nil {
 			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
 			_ = debug.Shutdown(sctx)
@@ -153,6 +194,9 @@ func main() {
 		}
 		fmt.Println("thriftyd: drained cleanly")
 	case sig := <-stop:
+		if slow != nil {
+			_ = slow.Close() // best effort: keep whatever records were flushed
+		}
 		if debug != nil {
 			_ = debug.Close()
 		}

@@ -1,4 +1,4 @@
-// Command thriftyvet is the repository's custom vet multichecker: five
+// Command thriftyvet is the repository's custom vet multichecker: six
 // go/analysis-style analyzers that mechanically enforce invariants DESIGN.md
 // could previously only state in prose (§12):
 //
@@ -7,6 +7,7 @@
 //	            atomics route through internal/atomicx
 //	padded      //thrifty:padded structs stay cache-line padded
 //	errfreeze   graph error strings match the frozen list
+//	metricfreeze obs/serve metric names match the frozen list
 //	cancelpoint exported kernels thread and reach Config.cancelPoint
 //
 // It speaks two protocols:
@@ -30,6 +31,7 @@ import (
 	"thriftylp/internal/lint/driver"
 	"thriftylp/internal/lint/errfreeze"
 	"thriftylp/internal/lint/hotpath"
+	"thriftylp/internal/lint/metricfreeze"
 	"thriftylp/internal/lint/padded"
 )
 
@@ -39,6 +41,7 @@ var suite = []*analysis.Analyzer{
 	benignrace.Analyzer,
 	padded.Analyzer,
 	errfreeze.Analyzer,
+	metricfreeze.Analyzer,
 	cancelpoint.Analyzer,
 }
 

@@ -55,6 +55,12 @@ func ErrUseAfterClose(err error) bool { return errors.Is(err, errUseAfterClose) 
 // (the zero-copy LoadBinary path) rather than the heap.
 func (g *Graph) Mapped() bool { return g.mapped != nil }
 
+// MappedBytes returns the size of the memory mapping backing the graph's
+// CSR arrays, 0 for heap-backed (or closed) graphs. Like every accessor it
+// must only be called while the graph is live — holders of a
+// serve.Snapshot reference satisfy that by construction.
+func (g *Graph) MappedBytes() int64 { return int64(len(g.mapped)) }
+
 // Close releases the memory mapping backing a zero-copy loaded graph and is
 // a no-op for heap-backed graphs. After Close the graph — and every slice
 // previously obtained from Offsets, Adjacency, or Neighbors — must not be

@@ -1,0 +1,41 @@
+//go:build linux
+
+package graph
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// ResidentBytes reports how many bytes of the graph's memory mapping are
+// currently resident in physical memory (via mincore), and whether the
+// measurement was possible at all — false for heap-backed graphs, closed
+// mappings, and kernels that refuse the syscall. The serving watchdog
+// publishes the result as a gauge: a residency collapse under memory
+// pressure is the early warning for the page-fault latency cliff mmap-
+// backed serving is exposed to.
+//
+// The caller must hold the graph live (a serve.Snapshot reference); the
+// probe allocates one byte per mapped page, which at 4KiB pages is ~256KiB
+// per mapped GiB — paid per watchdog tick, never on the query path.
+func (g *Graph) ResidentBytes() (int64, bool) {
+	m := g.mapped
+	if len(m) == 0 {
+		return 0, false
+	}
+	page := int64(os.Getpagesize())
+	pages := (int64(len(m)) + page - 1) / page
+	vec := make([]byte, pages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&m[0])), uintptr(len(m)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, false
+	}
+	var resident int64
+	for _, v := range vec {
+		// The low bit is the residency flag; the rest is kernel-reserved.
+		resident += int64(v & 1)
+	}
+	return resident * page, true
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package graph
+
+// ResidentBytes reports mmap residency on platforms with mincore support;
+// this stub reports "unmeasurable" everywhere else so callers degrade to
+// publishing only the mapping size.
+func (g *Graph) ResidentBytes() (int64, bool) { return 0, false }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"thriftylp/graph"
+	"thriftylp/internal/obs"
 	"thriftylp/internal/retry"
 	"thriftylp/internal/serve"
 )
@@ -27,8 +28,10 @@ import (
 // same-host trajectory: a serving regression (slower queries, collapsed
 // admission, reload stalls) shows up as a diff in a checked-in JSON file.
 
-// ServeSchema identifies the BENCH_serve.json layout.
-const ServeSchema = "thriftylp/bench-serve/v1"
+// ServeSchema identifies the BENCH_serve.json layout. v2 added the
+// server-side histogram percentiles (server_p50_ns/server_p99_ns/
+// server_count) next to the client-observed ones.
+const ServeSchema = "thriftylp/bench-serve/v2"
 
 // ServeRecord is one endpoint's load-test measurement.
 type ServeRecord struct {
@@ -47,6 +50,14 @@ type ServeRecord struct {
 	P99Ns  int64 `json:"p99_ns"`
 	MaxNs  int64 `json:"max_ns"`
 	MeanNs int64 `json:"mean_ns"`
+	// ServerP50Ns/ServerP99Ns are the server's own view of the same load,
+	// read from the endpoint's lock-free latency histogram after the drive.
+	// They exclude client/transport time, so they sit at or below the
+	// client-observed percentiles; ServerCount is the histogram's sample
+	// count (successful responses the server recorded).
+	ServerP50Ns int64 `json:"server_p50_ns"`
+	ServerP99Ns int64 `json:"server_p99_ns"`
+	ServerCount int64 `json:"server_count"`
 }
 
 // ServeReport is the full serving load test, as serialized to
@@ -140,7 +151,10 @@ func ServeRegression(cfg RunConfig) (ServeReport, error) {
 		return ServeReport{}, err
 	}
 
-	srv := serve.New(serve.Config{Path: path})
+	// The harness passes its own registry so it can read the server-side
+	// latency histograms back out after the drive.
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{Path: path, Registry: reg})
 	loadStart := time.Now()
 	if err := srv.Load(cfg.ctx()); err != nil {
 		return ServeReport{}, err
@@ -276,6 +290,10 @@ func ServeRegression(cfg RunConfig) (ServeReport, error) {
 			r.MeanNs = sum / int64(n)
 		}
 		r.QPS = float64(r.Requests) / drive.Seconds()
+		hs := reg.Histogram(serve.LatencyHistogram(ep)).Snapshot()
+		r.ServerCount = hs.Count
+		r.ServerP50Ns = hs.Quantile(0.50)
+		r.ServerP99Ns = hs.Quantile(0.99)
 		rep.Records = append(rep.Records, *r)
 	}
 	return rep, nil
@@ -286,12 +304,13 @@ func (r ServeReport) Render() string {
 	out := fmt.Sprintf("Serving load test (%s: %d vertices, %d edges; %d clients × %d rounds; load %.1f ms)\n",
 		r.Dataset, r.Vertices, r.Edges, r.Clients, r.RequestsPerClient,
 		float64(r.LoadNs)/1e6)
-	out += fmt.Sprintf("%-10s %10s %10s %10s %10s %7s %7s\n",
-		"endpoint", "qps", "p50 µs", "p99 µs", "max µs", "shed", "errors")
+	out += fmt.Sprintf("%-10s %10s %10s %10s %10s %10s %10s %7s %7s\n",
+		"endpoint", "qps", "p50 µs", "p99 µs", "max µs", "srv p50", "srv p99", "shed", "errors")
 	for _, rec := range r.Records {
-		out += fmt.Sprintf("%-10s %10.0f %10.1f %10.1f %10.1f %7d %7d\n",
+		out += fmt.Sprintf("%-10s %10.0f %10.1f %10.1f %10.1f %10.1f %10.1f %7d %7d\n",
 			rec.Endpoint, rec.QPS,
 			float64(rec.P50Ns)/1e3, float64(rec.P99Ns)/1e3, float64(rec.MaxNs)/1e3,
+			float64(rec.ServerP50Ns)/1e3, float64(rec.ServerP99Ns)/1e3,
 			rec.Shed, rec.Errors)
 	}
 	return out

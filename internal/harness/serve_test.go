@@ -40,6 +40,17 @@ func TestServeRegressionSmall(t *testing.T) {
 			t.Errorf("%s: unordered percentiles p50=%d p99=%d max=%d",
 				rec.Endpoint, rec.P50Ns, rec.P99Ns, rec.MaxNs)
 		}
+		// Server-side histogram view: every served request (200s, plus the
+		// 404 label misses /size legitimately answers) is recorded, and the
+		// percentiles are ordered.
+		if rec.ServerCount != int64(rec.Requests) {
+			t.Errorf("%s: server histogram count %d, want %d",
+				rec.Endpoint, rec.ServerCount, rec.Requests)
+		}
+		if rec.ServerP50Ns <= 0 || rec.ServerP50Ns > rec.ServerP99Ns {
+			t.Errorf("%s: unordered server percentiles p50=%d p99=%d",
+				rec.Endpoint, rec.ServerP50Ns, rec.ServerP99Ns)
+		}
 	}
 
 	path := filepath.Join(t.TempDir(), "BENCH_serve.json")

@@ -1,0 +1,64 @@
+package metricfreeze
+
+// Frozen is the checked-in list of metric-name literals the obs and serve
+// packages are allowed to contain: full Prometheus series names, the prefix
+// fragments composed names are built from (per-endpoint and per-event
+// series), and the suffix fragments appended to histogram and counter
+// names. Metric names are scraped API — dashboards, alerts, and the CI
+// obs-smoke assertions match on them — so renaming one is an interface
+// change, not a cleanup.
+//
+// To change a metric name deliberately: update the call site AND this list
+// in the same commit. The metricfreeze analyzer fails when a live literal
+// is missing here; TestFrozenRoundTrip fails when an entry here no longer
+// exists in the live packages, so the two can never drift apart silently.
+var Frozen = map[string]bool{
+	// Solver/runtime series (internal/obs).
+	"thriftylp_runs_total":                    true,
+	"thriftylp_iterations_total":              true,
+	"thriftylp_run_duration_seconds":          true,
+	"thriftylp_sched_partitions_owned_total":  true,
+	"thriftylp_sched_partitions_stolen_total": true,
+	"thriftylp_sched_steal_failures_total":    true,
+	"thriftylp_pool_jobs_total":               true,
+	"thriftylp_pool_idle_seconds":             true,
+	"thriftylp_events_":                       true, // + sanitized event + "_total"
+	"thriftylp_phase_":                        true, // + sanitized kind + "_seconds"
+
+	// Watchdog series (internal/obs).
+	"thriftylp_runtime_heap_alloc_bytes":       true,
+	"thriftylp_runtime_heap_inuse_bytes":       true,
+	"thriftylp_runtime_sys_bytes":              true,
+	"thriftylp_runtime_goroutines":             true,
+	"thriftylp_runtime_gc_pause_seconds_total": true,
+	"thriftylp_runtime_gc_cycles_total":        true,
+	"thriftylp_watchdog_ticks_total":           true,
+	"thriftylp_watchdog_stalls_total":          true,
+	"thriftylp_watchdog_tick_lag_seconds":      true,
+
+	// Serving series (internal/serve).
+	"thriftyd_shed_total":              true,
+	"thriftyd_inflight":                true,
+	"thriftyd_queue_depth":             true,
+	"thriftyd_reloads_total":           true,
+	"thriftyd_reload_failures_total":   true,
+	"thriftyd_snapshot_swaps_total":    true,
+	"thriftyd_reload_seconds":          true,
+	"thriftyd_queue_wait_ns":           true,
+	"thriftyd_snapshot_refs":           true,
+	"thriftyd_snapshot_mapped_bytes":   true,
+	"thriftyd_snapshot_resident_bytes": true,
+	"thriftyd_":                        true, // + endpoint + per-endpoint suffix
+
+	// Composed suffix fragments.
+	"_requests_total":   true, // thriftyd_<endpoint>_requests_total
+	"_latency_ns":       true, // thriftyd_<endpoint>_latency_ns (histogram)
+	"_latency_ns_total": true, // legacy-compat counter name
+	"_total":            true, // histogram sum compat suffix
+	"_seconds":          true, // thriftylp_phase_<kind>_seconds
+	"_count":            true, // histogram sample-count suffix
+	"_p50":              true, // scrape-time quantile gauges
+	"_p90":              true,
+	"_p99":              true,
+	"_p999":             true,
+}

@@ -1,0 +1,102 @@
+// Package metricfreeze implements the thriftyvet analyzer that freezes the
+// telemetry metric names of the obs and serve packages.
+//
+// Metric names are scraped API: dashboards, alert rules, the CI obs-smoke
+// job's awk assertions, and operators' runbooks all match on the literal
+// Prometheus series names thriftyd exposes. A refactor that renames
+// thriftyd_shed_total breaks every one of them silently — the scrape still
+// succeeds, the alert just never fires again. This analyzer turns the
+// naming contract into a standing check, exactly like errfreeze does for
+// graph error strings: every metric-shaped string literal in the obs and
+// serve packages (full thriftylp_*/thriftyd_* names, the prefix fragments
+// composed names are built from, and the _total/_p50-style suffix
+// fragments) must appear in the Frozen list (frozen.go), and
+// TestFrozenRoundTrip keeps the list free of stale entries.
+package metricfreeze
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+
+	"thriftylp/internal/lint/analysis"
+	"thriftylp/internal/lint/lintutil"
+)
+
+// frozenPkgs are the packages whose metric-name literals are frozen: the
+// metric registry/exposition layer and the serving layer that publishes the
+// thriftyd_* series.
+var frozenPkgs = []string{
+	"thriftylp/internal/obs",
+	"thriftylp/internal/serve",
+}
+
+// Analyzer is the metricfreeze analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricfreeze",
+	Doc:  "require obs/serve metric-name literals to match the checked-in frozen list",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	gated := false
+	for _, p := range frozenPkgs {
+		if lintutil.PkgPathMatches(pass.Pkg.Path(), p) {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if lintutil.InGOROOT(pass.Fset, f) || lintutil.IsTestFile(pass.Fset, f.Package) {
+			continue
+		}
+		for _, site := range MetricStrings(f) {
+			if !Frozen[site.Text] {
+				pass.Reportf(site.Pos, "metric name %q is not in the frozen list: metric names are scraped API — if the change is deliberate, update internal/lint/metricfreeze/frozen.go in the same commit", site.Text)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// A MetricSite is one metric-shaped string literal.
+type MetricSite struct {
+	Text string
+	Pos  token.Pos
+}
+
+// metricShape matches the literals the freeze covers: a full or prefix
+// metric name rooted at one of the module's namespaces (thriftylp_runs_total,
+// thriftyd_, thriftylp_events_) or a suffix fragment composed onto a name
+// (_total, _latency_ns, _p50). Fragments are frozen as they appear in
+// source, so a renamed suffix trips the check even though the full composed
+// name never exists as one literal.
+var metricShape = regexp.MustCompile(`^(?:(?:thriftylp|thriftyd)(?:_[a-z0-9]+)*_?|(?:_[a-z0-9]+)+)$`)
+
+// MetricStrings returns every metric-shaped string literal in the file,
+// matched syntactically so the round-trip test can run it over bare parse
+// trees. Bare "thriftylp"/"thriftyd" (no underscore) are program names, not
+// metric names, and are excluded.
+func MetricStrings(f *ast.File) []MetricSite {
+	var out []MetricSite
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if s == "thriftylp" || s == "thriftyd" || !metricShape.MatchString(s) {
+			return true
+		}
+		out = append(out, MetricSite{Text: s, Pos: lit.Pos()})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,61 @@
+package metricfreeze_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thriftylp/internal/lint/linttest"
+	"thriftylp/internal/lint/metricfreeze"
+)
+
+func TestMetricfreeze(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), metricfreeze.Analyzer, "obs")
+}
+
+// TestFrozenRoundTrip is the reverse direction of the analyzer: every entry
+// in the Frozen list must still exist as a metric-shaped literal in the
+// live obs or serve packages, so renamed or deleted series cannot leave
+// stale entries behind. Together the two checks force Frozen == live names.
+func TestFrozenRoundTrip(t *testing.T) {
+	live := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, dir := range []string{
+		filepath.Join("..", "..", "obs"),
+		filepath.Join("..", "..", "serve"),
+	} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading package dir %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", name, err)
+			}
+			for _, site := range metricfreeze.MetricStrings(f) {
+				live[site.Text] = true
+			}
+		}
+	}
+	if len(live) == 0 {
+		t.Fatal("found no metric-name literals in the live obs/serve packages; is the path right?")
+	}
+	for s := range metricfreeze.Frozen {
+		if !live[s] {
+			t.Errorf("frozen metric name %q no longer exists in obs or serve: remove it from frozen.go in the commit that changed the call site", s)
+		}
+	}
+	for s := range live {
+		if !metricfreeze.Frozen[s] {
+			t.Errorf("live metric name %q is not frozen: add it to frozen.go", s)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for the metricfreeze analyzer. The package is named obs so the
+// package-path gate applies; frozen names come from the real Frozen list.
+package obs
+
+// Full frozen names pass.
+const (
+	metricRuns  = "thriftylp_runs_total"
+	metricTicks = "thriftylp_watchdog_ticks_total"
+)
+
+// Frozen prefix and suffix fragments pass.
+func eventMetric(event string) string {
+	return "thriftylp_events_" + event + "_total"
+}
+
+// A renamed series trips the freeze.
+const metricDrifted = "thriftylp_runs_grand_total" // want `is not in the frozen list`
+
+// So does an unfrozen composed suffix.
+func latencyMetric(endpoint string) string {
+	return "thriftyd_" + endpoint + "_latency_us" // want `is not in the frozen list`
+}
+
+// Non-metric strings are outside the freeze entirely.
+const (
+	program = "thriftyd"
+	schema  = "thriftylp/trace/v1"
+	flag    = "-slowlog"
+)

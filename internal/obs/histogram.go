@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"runtime"
+	"strconv"
+	"unsafe"
+
+	"thriftylp/internal/atomicx"
+)
+
+// This file is the serving layer's latency instrument: a lock-free
+// log-linear histogram with a fixed bucket layout, sharded across padded
+// per-thread counter blocks so concurrent recorders never contend on a
+// cache line, merged only at scrape time. The record path is atomicx-only —
+// one bucket-index computation (shift/mask arithmetic), one shard pick, two
+// atomic adds — and is annotated //thrifty:hotpath so thriftyvet keeps it
+// allocation- and boxing-free. Everything expensive (merging shards,
+// quantile extraction, Prometheus text rendering) happens on the scrape
+// path, which runs a few times a minute, not a few thousand times a second.
+//
+// Bucket layout (DESIGN.md §15): values 0..histSub-1 get exact unit-wide
+// buckets; above that, each power-of-two octave [2^e, 2^(e+1)) is split into
+// histSub equal linear sub-buckets, so the relative quantization error is
+// bounded by 1/histSub = 6.25% everywhere. With histMaxExp = 42 the layout
+// spans [0, ~73min] in nanoseconds — far past any per-request deadline —
+// and values beyond it clamp into the last bucket rather than wrapping.
+// The layout is a compile-time constant: snapshots from different processes
+// or different scrape times are always bucket-compatible.
+
+const (
+	// histSubBits is log2 of the linear sub-buckets per octave.
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// histMaxExp is the first exponent outside the layout: values >=
+	// 2^histMaxExp clamp into the final bucket.
+	histMaxExp = 42
+	// histBuckets is the total bucket count: histSub exact unit buckets
+	// plus histSub linear sub-buckets for each octave in
+	// [histSubBits, histMaxExp).
+	histBuckets = histSub + (histMaxExp-histSubBits)*histSub
+	// histMaxShards bounds per-histogram memory (shards × ~5KB); eight
+	// shards already make recorder collisions rare at serving concurrency.
+	histMaxShards = 8
+)
+
+// histShard is one recorder lane: a full bucket array plus the exact sum,
+// sized to a whole number of cache lines so adjacent shards in the shards
+// slice never false-share. (It is not //thrifty:padded-annotated because
+// that invariant is "no named field straddles a line", which a 4992-byte
+// bucket array intentionally violates; the trailing pad keeps the
+// whole-struct multiple-of-64 property the analyzer would otherwise check.)
+type histShard struct {
+	buckets [histBuckets]atomicx.Int64
+	sum     atomicx.Int64
+	_       [7]int64
+}
+
+// Histogram is a fixed-layout log-linear histogram of int64 samples
+// (conventionally nanoseconds). The zero value is not ready; create through
+// Registry.Histogram or NewHistogram. All methods are safe for concurrent
+// use; Record is lock-free and wait-free apart from the two atomic adds.
+type Histogram struct {
+	shards []histShard
+}
+
+// NewHistogram returns an empty histogram with one shard per processor
+// (capped at histMaxShards, rounded up to a power of two for mask-cheap
+// shard selection).
+func NewHistogram() *Histogram {
+	n := runtime.GOMAXPROCS(0)
+	if n > histMaxShards {
+		n = histMaxShards
+	}
+	// Round up to a power of two so the shard pick is a mask, not a mod.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return &Histogram{shards: make([]histShard, p)}
+}
+
+// bucketIndex maps a sample to its bucket. Negative samples (a clock that
+// stepped backwards) count in bucket 0 rather than corrupting the layout.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	if exp >= histMaxExp {
+		return histBuckets - 1
+	}
+	sub := int(v>>(exp-histSubBits)) & (histSub - 1)
+	return histSub + (exp-histSubBits)*histSub + sub
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i, i.e. the
+// largest sample the bucket can hold. Exact for the unit buckets, the top
+// of the linear sub-range otherwise.
+func BucketUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	j := i - histSub
+	exp := histSubBits + j/histSub
+	sub := int64(j % histSub)
+	width := int64(1) << (exp - histSubBits)
+	return int64(1)<<exp + (sub+1)*width - 1
+}
+
+// shardHint picks the recorder's shard from its goroutine's stack address.
+// Distinct goroutines run on distinct stacks, so concurrent recorders land
+// on different shards with high probability; the same goroutine stays on
+// one shard for the life of a stack segment, which is exactly the locality
+// the padding buys. The >>9 skips the low bits shared by every frame slot;
+// the multiply scrambles allocation-order correlation between stacks.
+func shardHint() uint64 {
+	var b byte
+	p := uint64(uintptr(unsafe.Pointer(&b)))
+	return (p >> 9) * 0x9E3779B97F4A7C15
+}
+
+// Record folds one sample into the histogram.
+//
+//thrifty:hotpath
+func (h *Histogram) Record(v int64) {
+	s := &h.shards[shardHint()&uint64(len(h.shards)-1)]
+	s.buckets[bucketIndex(v)].Add(1)
+	s.sum.Add(v)
+}
+
+// HistogramSnapshot is one merged, self-consistent view of a histogram:
+// the per-bucket counts with Count derived from them (so Count always
+// equals the sum of Counts, even for snapshots taken mid-record) and the
+// exact sample sum.
+type HistogramSnapshot struct {
+	Counts [histBuckets]int64
+	Count  int64
+	Sum    int64
+}
+
+// Snapshot merges the shards with atomic loads. It is safe while recorders
+// are running; a concurrent Record may or may not be included, but the
+// Count-equals-sum-of-Counts invariant always holds because Count is
+// derived, never separately maintained.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var out HistogramSnapshot
+	for i := range h.shards {
+		s := &h.shards[i]
+		for b := 0; b < histBuckets; b++ {
+			if n := s.buckets[b].Load(); n != 0 {
+				out.Counts[b] += n
+				out.Count += n
+			}
+		}
+		out.Sum += s.sum.Load()
+	}
+	return out
+}
+
+// Count returns the total number of recorded samples.
+func (h *Histogram) Count() int64 { return h.Snapshot().Count }
+
+// Sum returns the exact sum of all recorded samples.
+func (h *Histogram) Sum() int64 {
+	var sum int64
+	for i := range h.shards {
+		sum += h.shards[i].sum.Load()
+	}
+	return sum
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the recorded samples as
+// the upper bound of the bucket holding the target rank — a conservative
+// (never understated) estimate with relative error bounded by 1/histSub.
+// It returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// Quantile is Histogram.Quantile over an already-merged snapshot, so one
+// scrape can extract several quantiles from one merge.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += s.Counts[b]
+		if cum >= rank {
+			return BucketUpper(b)
+		}
+	}
+	return BucketUpper(histBuckets - 1)
+}
+
+// histQuantiles are the quantiles every scrape publishes as plain gauges
+// next to the bucket series, so shell-grade consumers (the CI smoke job,
+// curl|grep) get percentiles without client-side bucket math.
+var histQuantiles = []struct {
+	suffix string
+	q      float64
+}{
+	{"_p50", 0.50},
+	{"_p90", 0.90},
+	{"_p99", 0.99},
+	{"_p999", 0.999},
+}
+
+// writePrometheus renders the histogram in the Prometheus text exposition
+// format under name: the cumulative _bucket series (only boundaries whose
+// bucket is occupied, plus +Inf — a sparse rendering is valid and keeps
+// scrapes proportional to occupied buckets, not layout size), _sum and
+// _count, the derived quantile gauges, and a <name>_total counter carrying
+// the exact sample sum under the legacy cumulative-counter name.
+func (h *Histogram) writePrometheus(w io.Writer, name string) error {
+	s := h.Snapshot()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		if s.Counts[b] == 0 {
+			continue
+		}
+		cum += s.Counts[b]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketUpper(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, s.Count, name, s.Sum, name, s.Count); err != nil {
+		return err
+	}
+	for _, hq := range histQuantiles {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s gauge\n%s%s %d\n",
+			name, hq.suffix, name, hq.suffix, s.Quantile(hq.q)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", name, name, s.Sum)
+	return err
+}
+
+// histogramDerived appends the histogram's derived scalar metrics to an
+// expvar-style snapshot map under name.
+func (s *HistogramSnapshot) derived(name string, m map[string]any) {
+	m[name+"_count"] = s.Count
+	m[name+"_total"] = s.Sum
+	for _, hq := range histQuantiles {
+		m[name+hq.suffix] = s.Quantile(hq.q)
+	}
+}
+
+// counterSuffixTotal is the compat-name suffix under which a histogram's
+// exact sample sum is also published as a counter (the pre-histogram
+// cumulative latency counters were <name>_total).
+const counterSuffixTotal = "_total"
+
+func init() {
+	// The layout must end exactly at the clamp exponent; a drift here
+	// would silently misplace every sample above the unit buckets.
+	if BucketUpper(histBuckets-1) != int64(1)<<histMaxExp-1 {
+		panic(fmt.Sprintf("obs: histogram layout inconsistent: last bucket tops at %d", BucketUpper(histBuckets-1)))
+	}
+	if strconv.IntSize != 64 {
+		panic("obs: histogram requires a 64-bit platform")
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramLayout checks the bucket layout's structural invariants:
+// bucket upper bounds are strictly increasing, every bound maps back to its
+// own bucket, and the relative quantization error stays within 1/histSub.
+func TestHistogramLayout(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		up := BucketUpper(i)
+		if up <= prev {
+			t.Fatalf("BucketUpper not increasing at %d: %d then %d", i, prev, up)
+		}
+		if got := bucketIndex(up); got != i {
+			t.Fatalf("bucketIndex(BucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		// The bucket holding v reports an upper bound at most 1/histSub
+		// above v (conservative, never understated).
+		if up > histSub && prev > 0 {
+			width := up - prev
+			if float64(width) > float64(prev)/float64(histSub)+1 {
+				t.Fatalf("bucket %d too wide: [%d, %d]", i, prev+1, up)
+			}
+		}
+		prev = up
+	}
+	// Edges: negatives clamp to bucket 0, the clamp exponent to the last.
+	if bucketIndex(-5) != 0 {
+		t.Errorf("bucketIndex(-5) = %d, want 0", bucketIndex(-5))
+	}
+	if bucketIndex(int64(1)<<62) != histBuckets-1 {
+		t.Errorf("huge sample did not clamp to the last bucket")
+	}
+}
+
+// TestHistogramExact records known samples and checks the exact aggregates
+// and conservative quantiles.
+func TestHistogramExact(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{3, 10, 100, 1000} {
+		h.Record(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 1113 {
+		t.Errorf("Sum = %d, want 1113", got)
+	}
+	// Quantiles are bucket upper bounds: 100 lands in [100,103], 1000 in
+	// [992,1023].
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.25, 3}, {0.50, 10}, {0.75, 103}, {1.0, 1023}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := (&HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+}
+
+// TestHistogramPrometheusGolden pins the text exposition format: sparse
+// cumulative buckets, +Inf, _sum/_count, the quantile gauges, and the
+// legacy-compat _total counter.
+func TestHistogramPrometheusGolden(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{3, 10, 100, 1000} {
+		h.Record(v)
+	}
+	var b strings.Builder
+	if err := h.writePrometheus(&b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE x histogram
+x_bucket{le="3"} 1
+x_bucket{le="10"} 2
+x_bucket{le="103"} 3
+x_bucket{le="1023"} 4
+x_bucket{le="+Inf"} 4
+x_sum 1113
+x_count 4
+# TYPE x_p50 gauge
+x_p50 10
+# TYPE x_p90 gauge
+x_p90 103
+# TYPE x_p99 gauge
+x_p99 103
+# TYPE x_p999 gauge
+x_p999 103
+# TYPE x_total counter
+x_total 1113
+`
+	if b.String() != want {
+		t.Errorf("prometheus text:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestHistogramConcurrent is the merge-while-recording property test: with
+// writers running full tilt, every snapshot must be self-consistent (Count
+// equals the sum of bucket counts — derived, so mid-record merges cannot
+// desynchronize it) with monotone quantiles, and the final drained totals
+// must be exact. Run under -race this also proves the record path is
+// data-race-free.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const (
+		writers = 8
+		perW    = 20000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Merger: snapshot continuously while writers record.
+	merges := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				merges <- n
+				return
+			default:
+			}
+			n++
+			s := h.Snapshot()
+			var sum int64
+			for _, c := range s.Counts {
+				sum += c
+			}
+			if sum != s.Count {
+				panic(fmt.Sprintf("snapshot inconsistent: Count=%d Σbuckets=%d", s.Count, sum))
+			}
+			p50, p90, p99, p999 := s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99), s.Quantile(0.999)
+			if p50 > p90 || p90 > p99 || p99 > p999 {
+				panic(fmt.Sprintf("quantiles not monotone: %d %d %d %d", p50, p90, p99, p999))
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Record(int64(w*1000 + i%997))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if n := <-merges; n == 0 {
+		t.Log("merger never ran while recording (slow machine); totals still checked")
+	}
+
+	s := h.Snapshot()
+	if want := int64(writers * perW); s.Count != want {
+		t.Errorf("drained Count = %d, want %d", s.Count, want)
+	}
+	var wantSum int64
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			wantSum += int64(w*1000 + i%997)
+		}
+	}
+	if s.Sum != wantSum {
+		t.Errorf("drained Sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+// TestRegistryHistogram covers the registry integration: stable pointers,
+// the _total compat counter falling back to the histogram sum, the derived
+// scalars in Snapshot, and the histogram appearing in the full scrape.
+func TestRegistryHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("thriftyd_component_latency_ns")
+	if reg.Histogram("thriftyd_component_latency_ns") != h {
+		t.Fatal("Histogram did not return a stable pointer")
+	}
+	h.Record(100)
+	h.Record(200)
+	if got := reg.Counter("thriftyd_component_latency_ns_total"); got != 300 {
+		t.Errorf("compat counter = %d, want 300", got)
+	}
+	snap := reg.Snapshot()
+	if snap["thriftyd_component_latency_ns_count"] != int64(2) {
+		t.Errorf("snapshot count = %v, want 2", snap["thriftyd_component_latency_ns_count"])
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE thriftyd_component_latency_ns histogram",
+		`thriftyd_component_latency_ns_bucket{le="+Inf"} 2`,
+		"thriftyd_component_latency_ns_p50 ",
+		"thriftyd_component_latency_ns_total 300",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}

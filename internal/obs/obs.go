@@ -36,6 +36,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*atomicx.Int64
 	gauges   map[string]*atomicx.Uint64 // float64 bits
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -43,6 +44,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*atomicx.Int64),
 		gauges:   make(map[string]*atomicx.Uint64),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -63,15 +65,40 @@ func (r *Registry) Add(name string, delta int64) {
 	r.counter(name).Add(delta)
 }
 
-// Counter returns the current value of counter name (zero if absent).
+// Counter returns the current value of counter name (zero if absent). For
+// a name of the form <hist>_total where <hist> is a registered histogram,
+// it returns the histogram's exact sample sum — the pre-histogram
+// cumulative counters (thriftyd_<endpoint>_latency_ns_total) keep their
+// names and values while the underlying metric is histogram-backed.
 func (r *Registry) Counter(name string) int64 {
 	r.mu.Lock()
 	c := r.counters[name]
-	r.mu.Unlock()
-	if c == nil {
-		return 0
+	var h *Histogram
+	if c == nil && strings.HasSuffix(name, counterSuffixTotal) {
+		h = r.hists[strings.TrimSuffix(name, counterSuffixTotal)]
 	}
-	return c.Load()
+	r.mu.Unlock()
+	if c != nil {
+		return c.Load()
+	}
+	if h != nil {
+		return h.Sum()
+	}
+	return 0
+}
+
+// Histogram returns the histogram registered under name, creating an empty
+// one on first use. The returned pointer is stable: hot paths resolve it
+// once and Record against it without touching the registry again.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
 }
 
 // SetGauge sets gauge name to v.
@@ -98,22 +125,30 @@ func (r *Registry) Gauge(name string) float64 {
 }
 
 // Snapshot returns all metrics as a flat name → value map (counters as
-// int64, gauges as float64). Used by the expvar publication.
+// int64, gauges as float64, histograms as their derived count/sum/quantile
+// scalars). Used by the expvar publication.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	m := make(map[string]any, len(r.counters)+len(r.gauges))
+	m := make(map[string]any, len(r.counters)+len(r.gauges)+8*len(r.hists))
 	for name, c := range r.counters {
 		m[name] = c.Load()
 	}
 	for name, g := range r.gauges {
 		m[name] = math.Float64frombits(g.Load())
 	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		s.derived(name, m)
+	}
 	return m
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format, sorted by name so output is stable across scrapes.
+// format, sorted by name so output is stable across scrapes. Histograms
+// render as a full histogram family (sparse cumulative _bucket series,
+// _sum/_count, derived quantile gauges, and the legacy <name>_total sum
+// counter), after the scalar metrics.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	type row struct {
@@ -127,10 +162,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		rows = append(rows, row{name, "gauge",
 			strconv.FormatFloat(math.Float64frombits(g.Load()), 'g', -1, 64)})
 	}
+	hists := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, struct {
+			name string
+			h    *Histogram
+		}{name, h})
+	}
 	r.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	for _, x := range rows {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", x.name, x.typ, x.name, x.val); err != nil {
+			return err
+		}
+	}
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, x := range hists {
+		if err := x.h.writePrometheus(w, x.name); err != nil {
 			return err
 		}
 	}

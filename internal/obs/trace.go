@@ -61,7 +61,36 @@ type TraceRecord struct {
 	ProbeAlpha     float64 `json:"probe_alpha,omitempty"`
 	ProbeCoverage  float64 `json:"probe_coverage,omitempty"`
 	ProbeLargestCC float64 `json:"probe_largest_cc,omitempty"`
+	// Request-span fields (Kind "request", written by the serving slow-query
+	// log): the request's id, endpoint, HTTP status, and the phase split of
+	// its latency (queue wait, snapshot acquire, handler, encode; the total
+	// is in DurationNs). Additive: absent on all earlier record kinds, so
+	// the schema id is unchanged.
+	ReqID     uint64 `json:"req_id,omitempty"`
+	Endpoint  string `json:"endpoint,omitempty"`
+	Status    int    `json:"status,omitempty"`
+	QueueNs   int64  `json:"queue_ns,omitempty"`
+	AcquireNs int64  `json:"acquire_ns,omitempty"`
+	HandlerNs int64  `json:"handler_ns,omitempty"`
+	EncodeNs  int64  `json:"encode_ns,omitempty"`
+	// Reload-span fields (Kind "reload", one record per snapshot publish,
+	// including the initial load): the validate/solve/publish phase split;
+	// ingest time rides the existing LoadNs field and the total is in
+	// DurationNs. Additive, schema id unchanged.
+	ValidateNs int64 `json:"validate_ns,omitempty"`
+	SolveNs    int64 `json:"solve_ns,omitempty"`
+	PublishNs  int64 `json:"publish_ns,omitempty"`
 }
+
+// Record kinds introduced by the serving telemetry layer; iteration records
+// keep using the traversal-direction kinds and "ingest"/"select" documented
+// on TraceRecord.Kind.
+const (
+	// KindRequest marks a request-span record from the slow-query log.
+	KindRequest = "request"
+	// KindReload marks a snapshot load/reload span record.
+	KindReload = "reload"
+)
 
 // traceFromIteration converts one iteration's stats to its external form.
 func traceFromIteration(algo, dataset string, run int, it cc.IterationStats) TraceRecord {
@@ -172,6 +201,15 @@ func (t *TraceWriter) WriteSelector(dataset string, run int, st *cc.RunStats) er
 		ProbeCoverage:  p.SampleCoverage,
 		ProbeLargestCC: p.LargestSampleComponent,
 	})
+}
+
+// Flush forces buffered records to the underlying writer without closing
+// it. Long-lived writers (the serving slow-query log) flush on drain so an
+// imminent SIGTERM exit cannot truncate the final records.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bw.Flush()
 }
 
 // Close flushes buffered records and closes the underlying file when the

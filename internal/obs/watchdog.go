@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"thriftylp/internal/atomicx"
+)
+
+// This file is the serving layer's self-monitoring: a Watchdog goroutine
+// that periodically publishes runtime health (GC pause, heap, goroutine
+// count) and caller-registered probes (snapshot refcounts, mmap residency)
+// as gauges, plus a stall detector — long-running operations register
+// Heartbeats with a deadline, and when one overruns, the watchdog logs a
+// full goroutine dump exactly once per overrun so the operator sees *where*
+// the process is stuck, not just that it is. The watchdog also monitors
+// itself: if its own ticks arrive late, the scheduler (or the whole
+// machine) is stalling, and that lag is published too.
+
+// Watchdog metric names. Runtime totals are published as gauges holding
+// monotone values — the scrape-side rate() works the same and the registry
+// keeps one write path for float metrics.
+const (
+	MetricHeapAlloc    = "thriftylp_runtime_heap_alloc_bytes"
+	MetricHeapInuse    = "thriftylp_runtime_heap_inuse_bytes"
+	MetricSysBytes     = "thriftylp_runtime_sys_bytes"
+	MetricGoroutines   = "thriftylp_runtime_goroutines"
+	MetricGCPauseTotal = "thriftylp_runtime_gc_pause_seconds_total"
+	MetricGCCycles     = "thriftylp_runtime_gc_cycles_total"
+	MetricTicks        = "thriftylp_watchdog_ticks_total"
+	MetricStalls       = "thriftylp_watchdog_stalls_total"
+	MetricTickLag      = "thriftylp_watchdog_tick_lag_seconds"
+)
+
+// WatchdogConfig parameterizes a Watchdog; the zero value of every field
+// gets a sensible default in NewWatchdog.
+type WatchdogConfig struct {
+	// Interval between health ticks (default 10s).
+	Interval time.Duration
+	// Registry receives the gauges (default: a private registry — pass the
+	// serving registry so /metrics exposes them).
+	Registry *Registry
+	// Log receives stall events (default: discard).
+	Log *slog.Logger
+	// DumpTo receives goroutine dumps on stall (default os.Stderr). Dumps
+	// are bounded to 1MiB.
+	DumpTo io.Writer
+}
+
+// Watchdog publishes runtime health gauges and watches heartbeats for
+// stalls. Create with NewWatchdog, register probes and heartbeats, then
+// Start; Stop when draining.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu     sync.Mutex
+	probes []probe
+	beats  []*Heartbeat
+
+	lastTick atomicx.Int64 // unix ns of the previous tick (self-stall check)
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type probe struct {
+	name string
+	fn   func() float64
+}
+
+// NewWatchdog builds a watchdog around cfg without starting it.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	if cfg.Log == nil {
+		cfg.Log = NopLogger()
+	}
+	if cfg.DumpTo == nil {
+		cfg.DumpTo = os.Stderr
+	}
+	return &Watchdog{cfg: cfg}
+}
+
+// Gauge registers a probe: fn is called on every tick and its result
+// published as a gauge under name. fn must be safe to call from the
+// watchdog goroutine and should be cheap (it runs at Interval).
+func (w *Watchdog) Gauge(name string, fn func() float64) {
+	w.mu.Lock()
+	w.probes = append(w.probes, probe{name, fn})
+	w.mu.Unlock()
+}
+
+// Heartbeat registers a named heartbeat with a stall deadline: an operation
+// that calls Begin and does not call End within deadline triggers a stall
+// event (log line + goroutine dump), once per overrunning activation.
+func (w *Watchdog) Heartbeat(name string, deadline time.Duration) *Heartbeat {
+	hb := &Heartbeat{name: name, deadline: deadline.Nanoseconds()}
+	w.mu.Lock()
+	w.beats = append(w.beats, hb)
+	w.mu.Unlock()
+	return hb
+}
+
+// Start launches the watchdog goroutine. It ticks immediately once (so
+// gauges exist from the first scrape) and then every Interval until Stop.
+func (w *Watchdog) Start() {
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	w.lastTick.Store(time.Now().UnixNano())
+	go func() {
+		defer close(w.done)
+		w.tick()
+		t := time.NewTicker(w.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				w.tick()
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the watchdog goroutine and waits for it to exit. Safe to call
+// once after Start; a never-started watchdog needs no Stop.
+func (w *Watchdog) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+// tick publishes one round of health gauges and checks every heartbeat.
+func (w *Watchdog) tick() {
+	now := time.Now().UnixNano()
+	reg := w.cfg.Registry
+
+	// Self-check first: if this tick is badly late, the scheduler was not
+	// running us — which is itself the most important thing to report.
+	prev := w.lastTick.Swap(now)
+	lag := time.Duration(now-prev) - w.cfg.Interval
+	if lag < 0 {
+		lag = 0
+	}
+	reg.SetGauge(MetricTickLag, lag.Seconds())
+	if w.cfg.Interval > 0 && lag > 2*w.cfg.Interval {
+		w.cfg.Log.Warn("watchdog tick late: scheduler or host stall",
+			"lag", lag, "interval", w.cfg.Interval)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.SetGauge(MetricHeapAlloc, float64(ms.HeapAlloc))
+	reg.SetGauge(MetricHeapInuse, float64(ms.HeapInuse))
+	reg.SetGauge(MetricSysBytes, float64(ms.Sys))
+	reg.SetGauge(MetricGCPauseTotal, time.Duration(ms.PauseTotalNs).Seconds())
+	reg.SetGauge(MetricGCCycles, float64(ms.NumGC))
+	reg.SetGauge(MetricGoroutines, float64(runtime.NumGoroutine()))
+
+	w.mu.Lock()
+	probes := w.probes
+	beats := w.beats
+	w.mu.Unlock()
+	for _, p := range probes {
+		reg.SetGauge(p.name, p.fn())
+	}
+	for _, hb := range beats {
+		if elapsed, stalled := hb.check(now); stalled {
+			reg.Add(MetricStalls, 1)
+			w.cfg.Log.Error("stall detected: operation past its deadline",
+				"op", hb.name, "elapsed", elapsed, "deadline", time.Duration(hb.deadline))
+			w.dumpGoroutines()
+		}
+	}
+	reg.Add(MetricTicks, 1)
+}
+
+// dumpGoroutines writes a bounded all-goroutine stack dump to DumpTo.
+func (w *Watchdog) dumpGoroutines() {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	_, _ = w.cfg.DumpTo.Write(buf[:n])
+	if n == len(buf) {
+		_, _ = io.WriteString(w.cfg.DumpTo, "\n...goroutine dump truncated at 1MiB\n")
+	}
+}
+
+// Heartbeat tracks one long-running operation kind for the stall detector.
+// Begin/End bracket each activation; both are single atomic stores, cheap
+// enough for per-request use. The dump fires at most once per activation:
+// a reload stuck for ten minutes produces one goroutine dump, not one per
+// watchdog tick.
+type Heartbeat struct {
+	name     string
+	deadline int64
+	started  atomicx.Int64 // unix ns of the current activation, 0 when idle
+	dumped   atomicx.Bool  // this activation already reported
+	stalls   atomicx.Int64
+}
+
+// Begin marks the start of an activation.
+func (h *Heartbeat) Begin() {
+	h.dumped.Store(false)
+	h.started.Store(time.Now().UnixNano())
+}
+
+// End marks the activation finished.
+func (h *Heartbeat) End() { h.started.Store(0) }
+
+// Stalls returns how many activations overran the deadline.
+func (h *Heartbeat) Stalls() int64 { return h.stalls.Load() }
+
+// check reports whether the current activation just crossed the deadline
+// (only the first check after the crossing returns stalled=true).
+func (h *Heartbeat) check(now int64) (elapsed time.Duration, stalled bool) {
+	st := h.started.Load()
+	if st == 0 || now-st < h.deadline {
+		return 0, false
+	}
+	if !h.dumped.CompareAndSwap(false, true) {
+		return 0, false
+	}
+	h.stalls.Add(1)
+	return time.Duration(now - st), true
+}

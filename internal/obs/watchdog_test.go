@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the watchdog goroutine write dumps while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestWatchdogGauges checks that a started watchdog publishes the runtime
+// gauges and registered probes from its first (immediate) tick.
+func TestWatchdogGauges(t *testing.T) {
+	reg := NewRegistry()
+	w := NewWatchdog(WatchdogConfig{Interval: time.Hour, Registry: reg, DumpTo: &syncBuffer{}})
+	w.Gauge("thriftyd_snapshot_refs", func() float64 { return 3 })
+	w.Start()
+	defer w.Stop()
+
+	// The immediate tick runs on the watchdog goroutine; wait for it to
+	// complete (the ticks counter is the last thing a tick publishes).
+	deadline := time.Now().Add(30 * time.Second)
+	for reg.Counter(MetricTicks) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	if got := reg.Gauge(MetricGoroutines); got <= 0 {
+		t.Errorf("%s = %v, want > 0", MetricGoroutines, got)
+	}
+	if got := reg.Gauge(MetricHeapAlloc); got <= 0 {
+		t.Errorf("%s = %v, want > 0", MetricHeapAlloc, got)
+	}
+	if got := reg.Gauge("thriftyd_snapshot_refs"); got != 3 {
+		t.Errorf("probe gauge = %v, want 3", got)
+	}
+	if got := reg.Counter(MetricTicks); got != 1 {
+		t.Errorf("%s = %d, want 1 immediate tick", MetricTicks, got)
+	}
+}
+
+// TestWatchdogStall checks the stall detector: an overrunning heartbeat
+// triggers exactly one goroutine dump per activation — not one per tick —
+// and a fresh activation can fire again.
+func TestWatchdogStall(t *testing.T) {
+	reg := NewRegistry()
+	dump := &syncBuffer{}
+	w := NewWatchdog(WatchdogConfig{Interval: 5 * time.Millisecond, Registry: reg, DumpTo: dump})
+	hb := w.Heartbeat("reload", time.Nanosecond)
+	hb.Begin()
+	w.Start()
+	defer w.Stop()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for hb.Stalls() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := hb.Stalls(); got != 1 {
+		t.Fatalf("Stalls = %d, want 1", got)
+	}
+	// Let several more ticks pass: still one dump for this activation.
+	time.Sleep(30 * time.Millisecond)
+	if got := hb.Stalls(); got != 1 {
+		t.Errorf("Stalls grew to %d within one activation", got)
+	}
+	if got := strings.Count(dump.String(), "goroutine "); got == 0 {
+		t.Error("no goroutine dump written")
+	}
+
+	// A clean End/Begin re-arms the detector.
+	hb.End()
+	hb.Begin()
+	deadline = time.Now().Add(30 * time.Second)
+	for hb.Stalls() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := hb.Stalls(); got != 2 {
+		t.Errorf("Stalls = %d after second overrun, want 2", got)
+	}
+	if got := reg.Counter(MetricStalls); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricStalls, got)
+	}
+}

@@ -3,10 +3,22 @@ package serve
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"thriftylp/cc"
 	"thriftylp/graph"
 )
+
+// LoadPhases is the wall-time split of one snapshot build: ingest
+// (read/parse or mmap), structural validation, and the full solve. The
+// reload span records and the reload log line are derived from it; the
+// publish phase is timed by Reload itself since it happens after the
+// snapshot exists.
+type LoadPhases struct {
+	IngestNs   int64
+	ValidateNs int64
+	SolveNs    int64
+}
 
 // LoadSnapshot builds a ready-to-publish snapshot from a graph file: ingest
 // (zero-copy mmap for binary CSR), full structural validation, and a
@@ -23,18 +35,27 @@ func LoadSnapshot(ctx context.Context, path string, algo cc.Algorithm) (*Snapsho
 	if algo == "" {
 		algo = cc.AlgoAuto
 	}
+	var ph LoadPhases
+	start := time.Now()
 	g, ist, err := graph.Ingest(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: ingest %s: %w", path, err)
 	}
+	ph.IngestNs = time.Since(start).Nanoseconds()
+	start = time.Now()
 	if err := g.Validate(); err != nil {
 		_ = g.Close()
 		return nil, fmt.Errorf("serve: validate %s: %w", path, err)
 	}
+	ph.ValidateNs = time.Since(start).Nanoseconds()
+	start = time.Now()
 	res, err := cc.RunContext(ctx, algo, g)
 	if err != nil {
 		_ = g.Close()
 		return nil, fmt.Errorf("serve: solve %s: %w", path, err)
 	}
-	return NewSnapshot(g, res, path, &ist), nil
+	ph.SolveNs = time.Since(start).Nanoseconds()
+	sn := NewSnapshot(g, res, path, &ist)
+	sn.Phases = ph
+	return sn, nil
 }

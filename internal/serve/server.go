@@ -45,12 +45,26 @@ type Config struct {
 	Registry *obs.Registry
 	// Log receives lifecycle events (default: discard).
 	Log *slog.Logger
+	// SlowLog, when set, receives sampled slow-query span records and the
+	// per-reload span records (thriftylp/trace/v1 JSONL). The server
+	// flushes it on Drain; the creator owns closing it.
+	SlowLog *obs.SlowLog
+	// Watchdog, when set, gains a "reload" heartbeat (deadline
+	// ReloadDeadline) and snapshot health probes: published refcount,
+	// mapped bytes, and mmap residency of the current snapshot. The caller
+	// starts and stops it.
+	Watchdog *obs.Watchdog
+	// ReloadDeadline is the stall deadline for the reload heartbeat: a
+	// load/reload running longer triggers a watchdog goroutine dump
+	// (default 2m). Only meaningful with Watchdog set.
+	ReloadDeadline time.Duration
 }
 
-// Serving metric names. Per-endpoint counters follow
-// thriftyd_<endpoint>_requests_total / thriftyd_<endpoint>_latency_ns_total
-// (sum of handler latencies; divide by requests for the mean — percentile
-// tracking lives in the load-test harness, not the hot path).
+// Serving metric names. Per-endpoint latency is a histogram
+// (thriftyd_<endpoint>_latency_ns, log-linear buckets, scrape-time p50/p90/
+// p99/p999 gauges); the pre-histogram cumulative counter name
+// thriftyd_<endpoint>_latency_ns_total stays published, derived from the
+// histogram's exact sum, so existing dashboards keep working.
 const (
 	MetricShed           = "thriftyd_shed_total"
 	MetricInFlight       = "thriftyd_inflight"
@@ -58,6 +72,11 @@ const (
 	MetricReloads        = "thriftyd_reloads_total"
 	MetricReloadFailures = "thriftyd_reload_failures_total"
 	MetricSnapshotSwaps  = "thriftyd_snapshot_swaps_total"
+	MetricReloadSeconds  = "thriftyd_reload_seconds"
+	MetricQueueWaitHist  = "thriftyd_queue_wait_ns"
+	MetricSnapshotRefs   = "thriftyd_snapshot_refs"
+	MetricMappedBytes    = "thriftyd_snapshot_mapped_bytes"
+	MetricResidentBytes  = "thriftyd_snapshot_resident_bytes"
 )
 
 // RequestsMetric returns the request counter name for an endpoint.
@@ -65,9 +84,16 @@ func RequestsMetric(endpoint string) string {
 	return "thriftyd_" + endpoint + "_requests_total"
 }
 
-// LatencyMetric returns the cumulative-latency counter name for an endpoint.
+// LatencyMetric returns the cumulative-latency counter name for an
+// endpoint. Since the histogram conversion the value is derived (the
+// histogram's exact sample sum) but the name and semantics are unchanged.
 func LatencyMetric(endpoint string) string {
 	return "thriftyd_" + endpoint + "_latency_ns_total"
+}
+
+// LatencyHistogram returns the latency histogram name for an endpoint.
+func LatencyHistogram(endpoint string) string {
+	return "thriftyd_" + endpoint + "_latency_ns"
 }
 
 // ErrReloadInProgress is returned by Reload when another reload is already
@@ -85,6 +111,13 @@ type Server struct {
 	mux *http.ServeMux
 	reg *obs.Registry
 	log *slog.Logger
+
+	// slow is the optional slow-query/reload span log; qwait the shared
+	// queue-wait histogram; reloadHB the optional watchdog heartbeat
+	// bracketing load/reload (nil without a watchdog).
+	slow     *obs.SlowLog
+	qwait    *obs.Histogram
+	reloadHB *obs.Heartbeat
 
 	// reloadMu serializes Load/Reload; TryLock turns a concurrent reload
 	// into ErrReloadInProgress instead of a queue of stale reloads.
@@ -132,13 +165,24 @@ func New(cfg Config) *Server {
 	if cfg.Log == nil {
 		cfg.Log = obs.NopLogger()
 	}
+	if cfg.ReloadDeadline <= 0 {
+		cfg.ReloadDeadline = 2 * time.Minute
+	}
 	s := &Server{
 		cfg:    cfg,
 		adm:    newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 		mux:    http.NewServeMux(),
 		reg:    cfg.Registry,
 		log:    cfg.Log,
+		slow:   cfg.SlowLog,
 		reason: "initial load not complete",
+	}
+	s.qwait = s.reg.Histogram(MetricQueueWaitHist)
+	if wd := cfg.Watchdog; wd != nil {
+		s.reloadHB = wd.Heartbeat("reload", cfg.ReloadDeadline)
+		wd.Gauge(MetricSnapshotRefs, s.probeRefs)
+		wd.Gauge(MetricMappedBytes, s.probeMapped)
+		wd.Gauge(MetricResidentBytes, s.probeResident)
 	}
 	s.mux.HandleFunc("/component", s.query("component", s.handleComponent))
 	s.mux.HandleFunc("/same", s.query("same", s.handleSame))
@@ -147,8 +191,43 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.Handle("/metrics", s.reg)
 	s.mux.HandleFunc("/", s.handleIndex)
 	return s
+}
+
+// Watchdog probes: each acquires the current snapshot (so the graph cannot
+// be closed mid-probe), reads one health value, and releases. The refcount
+// reported excludes the probe's own transient reference.
+func (s *Server) probeRefs() float64 {
+	sn := s.src.Acquire()
+	if sn == nil {
+		return 0
+	}
+	defer sn.Release()
+	return float64(sn.Refs() - 1)
+}
+
+func (s *Server) probeMapped() float64 {
+	sn := s.src.Acquire()
+	if sn == nil {
+		return 0
+	}
+	defer sn.Release()
+	return float64(sn.Graph.MappedBytes())
+}
+
+func (s *Server) probeResident() float64 {
+	sn := s.src.Acquire()
+	if sn == nil {
+		return 0
+	}
+	defer sn.Release()
+	b, ok := sn.Graph.ResidentBytes()
+	if !ok {
+		return 0
+	}
+	return float64(b)
 }
 
 // Handler returns the server's HTTP handler (for tests and embedding).
@@ -189,6 +268,10 @@ func (s *Server) Reload(ctx context.Context) error {
 		return ErrReloadInProgress
 	}
 	defer s.reloadMu.Unlock()
+	if s.reloadHB != nil {
+		s.reloadHB.Begin()
+		defer s.reloadHB.End()
+	}
 	start := time.Now()
 	sn, err := LoadSnapshot(ctx, s.cfg.Path, s.cfg.Algo)
 	if err != nil {
@@ -197,16 +280,36 @@ func (s *Server) Reload(ctx context.Context) error {
 		s.log.Error("reload failed", "path", s.cfg.Path, "err", err)
 		return err
 	}
+	pubStart := time.Now()
 	s.src.Publish(sn)
+	publishNs := time.Since(pubStart).Nanoseconds()
 	s.reg.Add(MetricReloads, 1)
 	s.reg.SetGauge(MetricSnapshotSwaps, float64(s.src.Swaps()))
+	s.reg.SetGauge(MetricReloadSeconds, time.Since(start).Seconds())
 	s.reg.ObserveRun(&sn.Result)
 	s.setReady(true, "")
+	if s.slow != nil {
+		// One span record per publish, initial load included: the
+		// ingest/validate/solve/publish split that decides whether a slow
+		// reload is I/O, a hostile file, or the solve itself.
+		_ = s.slow.WriteRecord(obs.TraceRecord{
+			Kind:       obs.KindReload,
+			Dataset:    s.cfg.Path,
+			LoadNs:     sn.Phases.IngestNs,
+			ValidateNs: sn.Phases.ValidateNs,
+			SolveNs:    sn.Phases.SolveNs,
+			PublishNs:  publishNs,
+			DurationNs: time.Since(start).Nanoseconds(),
+		})
+	}
 	s.log.Info("snapshot published",
 		"path", s.cfg.Path,
 		"vertices", sn.NumVertices(),
 		"edges", sn.Graph.NumEdges(),
 		"components", sn.NumComponents(),
+		"ingest", time.Duration(sn.Phases.IngestNs),
+		"validate", time.Duration(sn.Phases.ValidateNs),
+		"solve", time.Duration(sn.Phases.SolveNs),
 		"total", time.Since(start))
 	return nil
 }
@@ -260,18 +363,32 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	}
 	s.src.Retire()
+	if s.slow != nil {
+		// Push buffered span records to disk before the process exits: a
+		// drain must not truncate the slow-query log's final records. The
+		// creator still owns (and closes) the underlying file.
+		if ferr := s.slow.Flush(); err == nil {
+			err = ferr
+		}
+	}
 	return err
 }
 
-// query wraps an endpoint handler in the serving envelope: admission
-// control (shed with 429 + Retry-After), the per-request deadline, snapshot
-// acquire/release, and latency/in-flight metrics. The wrapped fn runs with
-// a live snapshot reference — the munmap of a concurrent reload-retired
-// graph cannot fire until fn returns and the reference is released.
-func (s *Server) query(name string, fn func(http.ResponseWriter, *http.Request, *Snapshot) error) http.HandlerFunc {
+// query wraps an endpoint handler in the serving envelope: a request span
+// (id + queue/acquire/handler/encode phase clocks, one time read per
+// boundary), admission control (shed with 429 + Retry-After), the
+// per-request deadline, snapshot acquire/release, and latency metrics —
+// the per-endpoint latency histogram plus the sampled slow-query log. The
+// wrapped fn runs with a live snapshot reference — the munmap of a
+// concurrent reload-retired graph cannot fire until fn returns and the
+// reference is released.
+func (s *Server) query(name string, fn func(http.ResponseWriter, *http.Request, *Snapshot, *obs.RequestSpan) error) http.HandlerFunc {
+	hist := s.reg.Histogram(LatencyHistogram(name))
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		sp := obs.StartSpan(name)
 		release, ok := s.adm.admit(r.Context())
+		sp.EndQueue()
+		s.qwait.Record(sp.QueueNs)
 		if !ok {
 			s.reg.Add(MetricShed, 1)
 			retryAfter := int(s.cfg.QueueWait / time.Second)
@@ -280,6 +397,7 @@ func (s *Server) query(name string, fn func(http.ResponseWriter, *http.Request, 
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 			http.Error(w, "overloaded: admission queue full", http.StatusTooManyRequests)
+			s.observeSpan(&sp, http.StatusTooManyRequests)
 			return
 		}
 		defer release()
@@ -290,8 +408,10 @@ func (s *Server) query(name string, fn func(http.ResponseWriter, *http.Request, 
 		defer cancel()
 
 		sn := s.src.Acquire()
+		sp.EndAcquire()
 		if sn == nil {
 			http.Error(w, "no snapshot loaded", http.StatusServiceUnavailable)
+			s.observeSpan(&sp, http.StatusServiceUnavailable)
 			return
 		}
 		defer sn.Release()
@@ -308,20 +428,43 @@ func (s *Server) query(name string, fn func(http.ResponseWriter, *http.Request, 
 		}
 		if err := ctx.Err(); err != nil {
 			http.Error(w, "deadline exceeded", http.StatusServiceUnavailable)
+			s.observeSpan(&sp, http.StatusServiceUnavailable)
 			return
 		}
 
-		if err := fn(w, r.WithContext(ctx), sn); err != nil {
+		if err := fn(w, r.WithContext(ctx), sn, &sp); err != nil {
+			sp.EndHandler()
 			var qe *queryError
+			status := http.StatusInternalServerError
 			if errors.As(err, &qe) {
-				http.Error(w, qe.msg, qe.status)
+				status = qe.status
+			}
+			if qe != nil {
+				http.Error(w, qe.msg, status)
 			} else {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+				http.Error(w, err.Error(), status)
+			}
+			s.observeSpan(&sp, status)
+			if status == http.StatusNotFound {
+				// A well-formed lookup that found nothing (/size of a dead
+				// label) ran the full query path and is served latency, not
+				// an error: it belongs in the histogram.
+				hist.Record(sp.TotalNs)
 			}
 			return
 		}
+		sp.EndHandler()
 		s.reg.Add(RequestsMetric(name), 1)
-		s.reg.Add(LatencyMetric(name), time.Since(start).Nanoseconds())
+		s.observeSpan(&sp, http.StatusOK)
+		hist.Record(sp.TotalNs)
+	}
+}
+
+// observeSpan finishes a request span and offers it to the slow-query log.
+func (s *Server) observeSpan(sp *obs.RequestSpan, status int) {
+	sp.Finish(status)
+	if s.slow != nil {
+		s.slow.Observe(sp)
 	}
 }
 
@@ -357,23 +500,32 @@ func vertexParam(r *http.Request, sn *Snapshot, key string) (uint32, error) {
 	return uint32(v), nil
 }
 
-func writeJSON(w http.ResponseWriter, v any) error {
+// writeJSON encodes the response body, crediting the encode+write time to
+// the span's encode phase (sp may be nil for control-plane endpoints).
+func writeJSON(w http.ResponseWriter, sp *obs.RequestSpan, v any) error {
+	if sp != nil {
+		sp.EndHandler()
+	}
 	w.Header().Set("Content-Type", "application/json")
-	return json.NewEncoder(w).Encode(v)
+	err := json.NewEncoder(w).Encode(v)
+	if sp != nil {
+		sp.EndEncode()
+	}
+	return err
 }
 
-func (s *Server) handleComponent(w http.ResponseWriter, r *http.Request, sn *Snapshot) error {
+func (s *Server) handleComponent(w http.ResponseWriter, r *http.Request, sn *Snapshot, sp *obs.RequestSpan) error {
 	v, err := vertexParam(r, sn, "v")
 	if err != nil {
 		return err
 	}
 	c := sn.ComponentOf(v)
-	return writeJSON(w, map[string]any{
+	return writeJSON(w, sp, map[string]any{
 		"vertex": v, "component": c, "size": sn.SizeOf(c),
 	})
 }
 
-func (s *Server) handleSame(w http.ResponseWriter, r *http.Request, sn *Snapshot) error {
+func (s *Server) handleSame(w http.ResponseWriter, r *http.Request, sn *Snapshot, sp *obs.RequestSpan) error {
 	u, err := vertexParam(r, sn, "u")
 	if err != nil {
 		return err
@@ -382,12 +534,12 @@ func (s *Server) handleSame(w http.ResponseWriter, r *http.Request, sn *Snapshot
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{
+	return writeJSON(w, sp, map[string]any{
 		"u": u, "v": v, "same": sn.ComponentOf(u) == sn.ComponentOf(v),
 	})
 }
 
-func (s *Server) handleSize(w http.ResponseWriter, r *http.Request, sn *Snapshot) error {
+func (s *Server) handleSize(w http.ResponseWriter, r *http.Request, sn *Snapshot, sp *obs.RequestSpan) error {
 	raw := r.URL.Query().Get("c")
 	if raw == "" {
 		return badRequest("missing query parameter \"c\"")
@@ -400,10 +552,10 @@ func (s *Server) handleSize(w http.ResponseWriter, r *http.Request, sn *Snapshot
 	if size == 0 {
 		return notFound("no component labelled %d", c)
 	}
-	return writeJSON(w, map[string]any{"component": uint32(c), "size": size})
+	return writeJSON(w, sp, map[string]any{"component": uint32(c), "size": size})
 }
 
-func (s *Server) handleCensus(w http.ResponseWriter, _ *http.Request, sn *Snapshot) error {
+func (s *Server) handleCensus(w http.ResponseWriter, _ *http.Request, sn *Snapshot, sp *obs.RequestSpan) error {
 	label, size := sn.Largest()
 	body := map[string]any{
 		"path":       sn.Path,
@@ -421,7 +573,7 @@ func (s *Server) handleCensus(w http.ResponseWriter, _ *http.Request, sn *Snapsh
 		body["algorithm"] = string(algo)
 		body["solve_ns"] = st.Duration.Nanoseconds()
 	}
-	return writeJSON(w, body)
+	return writeJSON(w, sp, body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -459,7 +611,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	default:
 		sn := s.src.Acquire()
 		defer sn.Release()
-		_ = writeJSON(w, map[string]any{
+		_ = writeJSON(w, nil, map[string]any{
 			"reloaded":   true,
 			"vertices":   sn.NumVertices(),
 			"components": sn.NumComponents(),
@@ -479,5 +631,6 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /size?c=LABEL       vertex count of component LABEL")
 	fmt.Fprintln(w, "  /census             component census of the loaded graph")
 	fmt.Fprintln(w, "  /reload (POST)      re-ingest, re-solve and swap the graph")
+	fmt.Fprintln(w, "  /metrics            Prometheus text metrics (histograms + counters)")
 	fmt.Fprintln(w, "  /healthz /readyz    liveness / readiness")
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"thriftylp/cc"
+	"thriftylp/internal/obs"
 )
 
 // newTestServer builds a server around a freshly generated binary graph,
@@ -286,6 +288,84 @@ func TestServerMetrics(t *testing.T) {
 	}
 	if n := s.reg.Counter(MetricReloads); n != 1 {
 		t.Errorf("%s = %d, want 1 (the initial load)", MetricReloads, n)
+	}
+	// The latency histogram behind the compat counter: every served request
+	// recorded, quantiles ordered, buckets exposed on /metrics with the
+	// versioned text content type.
+	hs := s.reg.Histogram(LatencyHistogram("component")).Snapshot()
+	if hs.Count != 3 {
+		t.Errorf("component histogram count = %d, want 3", hs.Count)
+	}
+	if p50, p99 := hs.Quantile(0.50), hs.Quantile(0.99); p50 <= 0 || p50 > p99 {
+		t.Errorf("component histogram p50=%d p99=%d, want 0 < p50 <= p99", p50, p99)
+	}
+	if sum := hs.Sum; sum != s.reg.Counter(LatencyMetric("component")) {
+		t.Errorf("compat latency counter %d != histogram sum %d",
+			s.reg.Counter(LatencyMetric("component")), sum)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		LatencyHistogram("component") + "_bucket{le=",
+		LatencyHistogram("component") + "_p99 ",
+		MetricQueueWaitHist + "_count ",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerSlowLog: with a zero threshold every request span is offered to
+// the slow log and the rate cap off, so each served request produces one
+// request record carrying the span phases; Drain flushes them out.
+func TestServerSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	slow := obs.NewSlowLog(obs.NewTraceWriter(&buf), 0, 0)
+	s, ts := newTestServer(t, func(c *Config) { c.SlowLog = slow })
+	get(t, ts.URL+"/component?v=0")
+	get(t, ts.URL+"/same?u=0&v=1")
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs, reloads int
+	for _, r := range recs {
+		switch r.Kind {
+		case obs.KindRequest:
+			reqs++
+			if r.ReqID == 0 || r.Status != http.StatusOK || r.DurationNs <= 0 {
+				t.Errorf("bad request record: %+v", r)
+			}
+			if r.Endpoint != "component" && r.Endpoint != "same" {
+				t.Errorf("unexpected endpoint %q", r.Endpoint)
+			}
+		case obs.KindReload:
+			// The initial load publishes through the same path as a reload
+			// and records the ingest/validate/solve/publish split.
+			reloads++
+			if r.SolveNs <= 0 || r.DurationNs <= 0 || r.Dataset == "" {
+				t.Errorf("bad reload record: %+v", r)
+			}
+		}
+	}
+	if reqs != 2 {
+		t.Errorf("%d request records, want 2", reqs)
+	}
+	if reloads != 1 {
+		t.Errorf("%d reload records, want 1 (the initial load)", reloads)
 	}
 }
 

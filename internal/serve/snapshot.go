@@ -47,6 +47,10 @@ type Snapshot struct {
 	// Path is the file the graph was loaded from (provenance for /census
 	// and logs; empty for handed-in graphs).
 	Path string
+	// Phases is the ingest/validate/solve wall-time split of this
+	// snapshot's construction (zero for handed-in graphs); the reload span
+	// record is built from it.
+	Phases LoadPhases
 	// Loaded is when the snapshot became ready (construction time).
 	Loaded time.Time
 
