@@ -35,10 +35,13 @@ bench:
 # Refresh the machine-readable perf-regression records: kernel timings
 # (uninstrumented fast path, fixed medium-scale fixtures, min of 5 reps) in
 # BENCH_thrifty.json, ingestion timings (parallel zero-copy pipeline vs the
-# frozen sequential baseline) in BENCH_ingest.json, and serving QPS/latency
-# (thriftyd query stack under concurrent load) in BENCH_serve.json.
+# frozen sequential baseline) in BENCH_ingest.json, serving QPS/latency
+# (thriftyd query stack under concurrent load) in BENCH_serve.json, and the
+# sharded-exchange gate (compacted vs naive boundary exchange, suppression
+# counts, unsharded denominator; fails on a compaction inversion) in
+# BENCH_shard.json.
 bench-json:
-	$(GO) run ./cmd/ccbench -ingest-json BENCH_ingest.json -serve-json BENCH_serve.json -json BENCH_thrifty.json -reps 5
+	$(GO) run ./cmd/ccbench -ingest-json BENCH_ingest.json -serve-json BENCH_serve.json -shard-json BENCH_shard.json -json BENCH_thrifty.json -reps 5
 
 # Cross-validate every algorithm against the sequential oracle.
 verify:

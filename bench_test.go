@@ -394,22 +394,23 @@ func BenchmarkConnectIt(b *testing.B) {
 	}
 }
 
-// BenchmarkDistributed regenerates the distributed-simulation extension
-// (ccbench -exp dist), reporting message counts as metrics.
+// BenchmarkDistributed regenerates the sharded-exchange extension
+// (ccbench -exp dist), reporting exchange traffic as metrics.
 func BenchmarkDistributed(b *testing.B) {
 	g := benchGraph(b, "social-twitter")
-	for _, thrifty := range []bool{false, true} {
-		name := "plain-lp"
-		if thrifty {
-			name = "thrifty-mode"
-		}
-		b.Run(name, func(b *testing.B) {
-			var msgs int64
+	for _, shards := range []int{4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var bytes, suppressed int64
 			for i := 0; i < b.N; i++ {
-				res := dist.Run(g, dist.Config{Workers: 8, Thrifty: thrifty})
-				msgs = res.MessagesSent
+				res, err := dist.Run(g, dist.Config{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = res.ExchangedBytes
+				suppressed = res.SuppressedVertices
 			}
-			b.ReportMetric(float64(msgs), "messages")
+			b.ReportMetric(float64(bytes), "exchanged-bytes")
+			b.ReportMetric(float64(suppressed), "suppressed")
 		})
 	}
 }

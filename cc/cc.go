@@ -27,6 +27,8 @@ type Algorithm string
 // The implemented algorithms. AlgoThrifty is the paper's contribution; the
 // rest are the evaluation baselines of Table IV plus the DO-LP+Unified
 // ablation variant of Fig 9/10 and the FastSV extension baseline (§VI).
+// AlgoShard (declared in shard.go) is the sharded out-of-core Thrifty
+// pipeline; AlgoAuto (auto.go) is the probe-driven selector.
 const (
 	AlgoThrifty       Algorithm = "thrifty"
 	AlgoDOLP          Algorithm = "dolp"
@@ -47,7 +49,7 @@ func Algorithms() []Algorithm {
 	return []Algorithm{
 		AlgoThrifty, AlgoDOLP, AlgoDOLPUnified, AlgoLP,
 		AlgoSV, AlgoAfforest, AlgoJayantiT, AlgoBFSCC, AlgoFastSV,
-		AlgoConnectItKOut, AlgoConnectItBFS, AlgoAuto,
+		AlgoConnectItKOut, AlgoConnectItBFS, AlgoShard, AlgoAuto,
 	}
 }
 
@@ -102,6 +104,11 @@ type options struct {
 	pool    *parallel.Pool
 	ownPool bool
 	ingest  *graph.IngestStats
+	// shards and memBudget configure/steer the sharded pipeline (shard.go);
+	// shardStats is runShard's output channel to RunContext.
+	shards     int
+	memBudget  int64
+	shardStats *ShardStats
 }
 
 // Option configures a run.

@@ -116,6 +116,8 @@ func run(a Algorithm, g *graph.Graph, o *options) (core.Result, error) {
 		return core.ConnectItKOut(g, o.cfg), nil
 	case AlgoConnectItBFS:
 		return core.ConnectItBFS(g, o.cfg), nil
+	case AlgoShard:
+		return runShard(g, o)
 	default:
 		return core.Result{}, fmt.Errorf("cc: unknown algorithm %q", a)
 	}
@@ -206,7 +208,7 @@ func RunContext(ctx context.Context, a Algorithm, g *graph.Graph, opts ...Option
 	selected := a
 	var probe *ProbeStats
 	if a == AlgoAuto {
-		selected, probe = autoSelect(g)
+		selected, probe = autoSelect(g, o)
 	}
 	o.cfg.Arena.BeginRun()
 
@@ -225,6 +227,7 @@ func RunContext(ctx context.Context, a Algorithm, g *graph.Graph, opts ...Option
 		stats.Selected = selected
 		stats.Probe = probe
 	}
+	stats.Shard = o.shardStats
 	poolDelta := statsPool.Stats().Sub(poolBefore)
 	stats.Sched = SchedStats{
 		PartitionsOwned:  cres.Sched.Owned,

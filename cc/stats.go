@@ -60,6 +60,9 @@ type RunStats struct {
 	// Ingest carries the load/build timings of the graph the run consumed.
 	// Nil unless the caller supplied them via WithIngestStats.
 	Ingest *graph.IngestStats
+	// Shard is the sharded pipeline's exchange telemetry. Nil unless the run
+	// executed AlgoShard (directly or via the selector).
+	Shard *ShardStats
 }
 
 // PhaseDuration returns the summed wall time of one iteration kind, zero if

@@ -33,6 +33,15 @@
 // refresh BENCH_serve.json:
 //
 //	ccbench -serve-json BENCH_serve.json -reps 5
+//
+// With -shard-json, ccbench runs the sharded-exchange regression gate — the
+// out-of-core pipeline (cc.AlgoShard) on hub-heavy fixtures at several shard
+// counts, with unsharded Thrifty as the denominator and the streamed
+// sharded generator's memory accounting attached. The run FAILS if the
+// compacted exchange does not beat the naive flat encoding — `make
+// bench-json` uses this to refresh BENCH_shard.json:
+//
+//	ccbench -shard-json BENCH_shard.json -reps 5
 package main
 
 import (
@@ -62,6 +71,7 @@ func main() {
 		algoSel = flag.String("algo", "", "with -json: comma-separated algorithms to time (e.g. 'auto' or 'thrifty,auto'); empty = default regression set")
 		ingOut  = flag.String("ingest-json", "", "run the ingestion regression suite and write JSON results to this file")
 		srvOut  = flag.String("serve-json", "", "run the serving load test and write JSON results to this file")
+		shdOut  = flag.String("shard-json", "", "run the sharded-exchange regression gate and write JSON results to this file")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		trace   = flag.String("trace", "", "with -json: write per-iteration trace records of one instrumented run per cell to this JSONL file")
@@ -135,7 +145,7 @@ func main() {
 		fmt.Print(rep.Render())
 		fmt.Printf("(ingestion suite completed in %v, wrote %s)\n",
 			time.Since(start).Round(time.Millisecond), *ingOut)
-		if *jsonOut == "" && *srvOut == "" {
+		if *jsonOut == "" && *srvOut == "" && *shdOut == "" {
 			return
 		}
 	}
@@ -158,6 +168,29 @@ func main() {
 		fmt.Print(rep.Render())
 		fmt.Printf("(serving load test completed in %v, wrote %s)\n",
 			time.Since(start).Round(time.Millisecond), *srvOut)
+		if *jsonOut == "" && *shdOut == "" {
+			return
+		}
+	}
+
+	if *shdOut != "" {
+		prev, prevErr := harness.ReadShardReport(*shdOut)
+		start := time.Now()
+		rep, err := harness.ShardRegression(cfg)
+		if err != nil {
+			fatalf("shard regression: %v", err)
+		}
+		if err := rep.WriteJSON(*shdOut); err != nil {
+			fatalf("writing %s: %v", *shdOut, err)
+		}
+		if prevErr == nil {
+			for _, line := range rep.HostMismatch(prev) {
+				fmt.Fprintf(os.Stderr, "ccbench: warning: host mismatch vs previous %s: %s\n", *shdOut, line)
+			}
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("(sharded regression gate completed in %v, wrote %s)\n",
+			time.Since(start).Round(time.Millisecond), *shdOut)
 		if *jsonOut == "" {
 			return
 		}

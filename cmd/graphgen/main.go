@@ -5,6 +5,14 @@
 //	graphgen -gen rmat:22:16 -o twitter-analog.bin
 //	graphgen -gen road:4000000 -o road.el
 //	graphgen -suite medium -dir datasets/   # materialize the whole analog suite
+//
+// With -shards, -o names a directory and the graph is written as a sharded
+// CSR set (k vertex-range slice files plus a manifest) that thriftycc can
+// solve out-of-core. RMAT specs stream straight to the shard files without
+// ever materialising the whole edge list or CSR in memory — the path for
+// graphs larger than RAM; other specs build in memory first and then shard:
+//
+//	graphgen -gen rmat:26:16 -shards 16 -o twitter-shards/
 package main
 
 import (
@@ -12,12 +20,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"thriftylp/graph"
 	"thriftylp/graph/gen"
 	"thriftylp/internal/harness"
+	"thriftylp/internal/shard"
 	"thriftylp/internal/stats"
 )
 
@@ -26,8 +36,9 @@ func main() {
 		spec  = flag.String("gen", "", "generator spec (rmat:<scale>[:<ef>], road:<n>, er:<n>[:<m>], web:<scale>, ba:<n>[:<m>])")
 		out   = flag.String("o", "", "output path (.bin/.csr = binary CSR, anything else = edge list)")
 		seed  = flag.Uint64("seed", 42, "generator seed")
-		suite = flag.String("suite", "", "materialize the whole analog suite at this scale (small/medium/large)")
-		dir   = flag.String("dir", "datasets", "output directory for -suite")
+		suite  = flag.String("suite", "", "materialize the whole analog suite at this scale (small/medium/large)")
+		dir    = flag.String("dir", "datasets", "output directory for -suite")
+		shards = flag.Int("shards", 0, "write a sharded CSR set with this many shards to the -o directory")
 	)
 	flag.Parse()
 
@@ -40,6 +51,12 @@ func main() {
 	if *spec == "" || *out == "" {
 		fatalf("need -gen and -o (or -suite)")
 	}
+	if *shards > 0 {
+		if err := writeShards(*spec, *out, *seed, *shards); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	g, err := buildSpec(*spec, *seed)
 	if err != nil {
 		fatalf("%v", err)
@@ -50,6 +67,51 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %s (in %.3f ms)\n", *out, summarize(g),
 		float64(time.Since(start).Nanoseconds())/1e6)
+}
+
+// writeShards writes the graph as a sharded CSR set. RMAT specs take the
+// streamed generator, which regenerates edge chunks deterministically per
+// pass instead of holding an edge list, so peak memory stays at the degree
+// array plus one shard's adjacency; everything else builds in memory first.
+func writeShards(spec, dir string, seed uint64, k int) error {
+	start := time.Now()
+	parts := strings.Split(spec, ":")
+	if parts[0] == "rmat" {
+		atoi := func(i, def int) int {
+			if len(parts) <= i || parts[i] == "" {
+				return def
+			}
+			v, err := strconv.Atoi(parts[i])
+			if err != nil {
+				return def
+			}
+			return v
+		}
+		src, err := gen.NewRMATStream(gen.DefaultRMAT(atoi(1, 18), atoi(2, 16), seed))
+		if err != nil {
+			return err
+		}
+		m, st, err := shard.StreamWrite(src, dir, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d vertices, %d directed slots in %d shards (streamed, peak %.1f MB vs %.1f MB edge list, in %.3f ms)\n",
+			dir, m.Vertices, st.DirectedSlots, len(m.Shards),
+			float64(st.PeakBytes)/1e6, float64(st.EdgeListBytes)/1e6,
+			float64(time.Since(start).Nanoseconds())/1e6)
+		return nil
+	}
+	g, err := buildSpec(spec, seed)
+	if err != nil {
+		return err
+	}
+	m, err := shard.Write(g, dir, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s in %d shards (in %.3f ms)\n", dir, summarize(g),
+		len(m.Shards), float64(time.Since(start).Nanoseconds())/1e6)
+	return nil
 }
 
 // summarize renders the generation summary: size, max degree and the

@@ -2,19 +2,27 @@
 // reports the component census and timing.
 //
 // The graph comes either from a file (-in, text edge list or .bin binary
-// CSR produced by graphgen) or from an inline generator spec (-gen):
+// CSR produced by graphgen), from a sharded CSR set directory (-in pointed
+// at a directory graphgen -shards produced — solved out-of-core, one shard
+// resident at a time), or from an inline generator spec (-gen):
 //
 //	thriftycc -gen rmat:20:16 -algo thrifty
 //	thriftycc -gen road:1000000 -algo afforest -verify
 //	thriftycc -in graph.bin -algo all -reps 3
-//	thriftycc -gen web:16 -algo thrifty -stats
+//	thriftycc -in shards-dir/ -verify -labels out.labels
+//	thriftycc -gen web:16 -algo shard -shards 8
 //
 // Generator specs: rmat:<scale>[:<edgefactor>], road:<vertices>,
 // er:<vertices>[:<edges>], web:<scale>, ba:<vertices>[:<m>],
 // star:<vertices>, path:<vertices>.
+//
+// -shards sets the shard count for -algo shard runs; -labels writes the
+// computed per-vertex labels (one decimal per line, vertex order) so
+// results can be diffed across paths.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -30,7 +38,11 @@ import (
 	"thriftylp/cc"
 	"thriftylp/graph"
 	"thriftylp/graph/gen"
+	"thriftylp/internal/core"
+	"thriftylp/internal/dist"
 	"thriftylp/internal/obs"
+	"thriftylp/internal/parallel"
+	"thriftylp/internal/shard"
 	"thriftylp/internal/stats"
 )
 
@@ -50,6 +62,8 @@ func main() {
 		httpAd  = flag.String("http", "", "serve /metrics, expvar and /debug/pprof on this address (e.g. :6060 or :0)")
 		hold    = flag.Bool("hold", false, "with -http: keep the debug server alive after the runs until SIGINT")
 		logLvl  = flag.String("log", "", "structured run logging to stderr: info or debug (default off)")
+		shards  = flag.Int("shards", 0, "shard count for -algo shard (0 = default)")
+		labels  = flag.String("labels", "", "write the computed per-vertex labels to this file (one per line)")
 	)
 	flag.Parse()
 
@@ -106,6 +120,15 @@ func main() {
 		env.trace = tw
 	}
 
+	// A directory input is a sharded CSR set: solve it out-of-core (one
+	// shard's adjacency resident at a time) instead of loading a graph.
+	if *in != "" && shard.IsSetDir(*in) {
+		if err := runShardDir(ctx, *in, *reps, *threads, *verify, *labels); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
 	g, ist, err := loadGraph(*in, *genSpec, *seed)
 	if err != nil {
 		fatalf("%v", err)
@@ -136,7 +159,7 @@ func main() {
 	}
 
 	for _, a := range algos {
-		if err := runOne(ctx, a, g, ist, *reps, *threads, *verify, *inst, env); err != nil {
+		if err := runOne(ctx, a, g, ist, *reps, *threads, *shards, *verify, *inst, *labels, env); err != nil {
 			var ce *cc.CanceledError
 			if errors.As(err, &ce) {
 				if errors.Is(err, context.DeadlineExceeded) {
@@ -178,10 +201,13 @@ func algoNames() string {
 	return strings.Join(names, ", ")
 }
 
-func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, ist *graph.IngestStats, reps, threads int, verify, instrument bool, env *runEnv) error {
+func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, ist *graph.IngestStats, reps, threads, shards int, verify, instrument bool, labelsOut string, env *runEnv) error {
 	var opts []cc.Option
 	if threads > 0 {
 		opts = append(opts, cc.WithThreads(threads))
+	}
+	if shards > 0 {
+		opts = append(opts, cc.WithShards(shards))
 	}
 	if ist != nil {
 		opts = append(opts, cc.WithIngestStats(*ist))
@@ -243,6 +269,15 @@ func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, ist *graph.Inge
 			res.Stats.Selected, p.Reason, p.SkewRatio, p.HubEdgeFraction,
 			p.MeanDegree, p.SampleCoverage, p.Cost.Round(time.Microsecond))
 	}
+	if res.Stats != nil && res.Stats.Shard != nil {
+		printShardStats(res.Stats.Shard)
+	}
+	if labelsOut != "" {
+		if err := writeLabels(labelsOut, res.Labels); err != nil {
+			return fmt.Errorf("writing %s: %w", labelsOut, err)
+		}
+		fmt.Printf("  labels: wrote %d to %s\n", len(res.Labels), labelsOut)
+	}
 
 	if instrument {
 		fmt.Printf("  events: ")
@@ -264,6 +299,151 @@ func runOne(ctx context.Context, a cc.Algorithm, g *graph.Graph, ist *graph.Inge
 		}
 	}
 	return nil
+}
+
+// runShardDir solves an on-disk shard set out-of-core: one shard's adjacency
+// resident at a time, boundary labels exchanged between rounds. -verify
+// re-walks every shard checking edge consistency and label canonicality
+// instead of consulting the whole-graph oracle, which would require loading
+// the graph this path exists to avoid loading.
+func runShardDir(ctx context.Context, dir string, reps, threads int, verify bool, labelsOut string) error {
+	set, err := shard.Open(dir)
+	if err != nil {
+		return err
+	}
+	m := set.Manifest
+	var slots int64
+	for _, info := range m.Shards {
+		slots += info.Slots
+	}
+	fmt.Printf("shard set: %d vertices, %d shards, %d directed slots, hub %d\n",
+		m.Vertices, set.Shards(), slots, m.Hub)
+
+	cfg := dist.Config{}
+	if threads > 0 {
+		pool := parallel.NewPool(threads)
+		defer pool.Close()
+		cfg.Pool = pool
+	}
+	if ctx.Done() != nil {
+		stop := &core.Stop{}
+		cfg.Stop = stop
+		defer context.AfterFunc(ctx, stop.Request)()
+	}
+
+	if reps < 1 {
+		reps = 1
+	}
+	best := time.Duration(1<<63 - 1)
+	var res dist.Result
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		res, err = dist.RunSource(set, cfg)
+		if err != nil {
+			return err
+		}
+		if res.Canceled {
+			return fmt.Errorf("interrupted after %d exchange rounds", res.Rounds)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+
+	census := stats.Census(res.Labels)
+	fmt.Printf("%-14s %10.3f ms   %d components, %d rounds, %d local iterations\n",
+		"shard(disk)", float64(best.Nanoseconds())/1e6,
+		census.NumComponents, res.Rounds, res.LocalIterations)
+	printShardStats(&cc.ShardStats{
+		Shards:             set.Shards(),
+		Rounds:             res.Rounds,
+		LocalIterations:    res.LocalIterations,
+		BoundaryEntries:    res.BoundaryEntries,
+		ExchangedBytes:     res.ExchangedBytes,
+		NaiveBytes:         res.NaiveBytes,
+		Pairs:              res.Pairs,
+		SuppressedVertices: res.SuppressedVertices,
+	})
+	if labelsOut != "" {
+		if err := writeLabels(labelsOut, res.Labels); err != nil {
+			return fmt.Errorf("writing %s: %w", labelsOut, err)
+		}
+		fmt.Printf("  labels: wrote %d to %s\n", len(res.Labels), labelsOut)
+	}
+	if verify {
+		if err := verifyShardLabels(set, res.Labels); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Printf("  verify: OK (edge-consistent, canonical labels across all shards)\n")
+	}
+	return nil
+}
+
+// printShardStats reports the exchange cost model of a sharded run.
+func printShardStats(st *cc.ShardStats) {
+	ratio := 0.0
+	if st.ExchangedBytes > 0 {
+		ratio = float64(st.NaiveBytes) / float64(st.ExchangedBytes)
+	}
+	fmt.Printf("  shard: %d shards, %d rounds, boundary=%d exchanged=%dB naive=%dB (%.2fx) pairs=%d suppressed=%d\n",
+		st.Shards, st.Rounds, st.BoundaryEntries, st.ExchangedBytes, st.NaiveBytes,
+		ratio, st.Pairs, st.SuppressedVertices)
+}
+
+// verifyShardLabels checks the labelling without materialising the graph:
+// every nonzero label must name its component's minimum vertex (which carries
+// that label itself, at an id no larger than any member), and a re-walk of
+// every shard must find both endpoints of every edge agreeing.
+func verifyShardLabels(set *shard.Set, labels []uint32) error {
+	for v, l := range labels {
+		if l == 0 {
+			continue
+		}
+		if int(l-1) > v || labels[l-1] != l {
+			return fmt.Errorf("vertex %d: label %d is not canonical", v, l)
+		}
+	}
+	for i := 0; i < set.Shards(); i++ {
+		sl, err := set.Slice(i)
+		if err != nil {
+			return err
+		}
+		for v := sl.Lo; v < sl.Hi; v++ {
+			for _, w := range sl.Row(v) {
+				if labels[v] != labels[w] {
+					set.Release(sl)
+					return fmt.Errorf("edge (%d,%d): labels %d vs %d", v, w, labels[v], labels[w])
+				}
+			}
+		}
+		if err := set.Release(sl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLabels writes one decimal label per line, in vertex order.
+func writeLabels(path string, labels []uint32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	buf := make([]byte, 0, 12)
+	for _, l := range labels {
+		buf = strconv.AppendUint(buf[:0], uint64(l), 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printStats(g *graph.Graph) {

@@ -69,16 +69,9 @@ func RMATEdges(cfg RMATConfig) ([]graph.Edge, error) {
 
 	// Optional id scrambling: a seed-derived bijection on [0, 2^scale)
 	// composed of an XOR mask and an odd multiplier (both invertible mod
-	// 2^scale). See RMATConfig.Permute.
-	mask, mult := uint32(0), uint32(1)
-	if cfg.Permute && cfg.Scale > 0 {
-		pr := newRNG(cfg.Seed ^ 0x5ca1ab1e5ca1ab1e)
-		mask = uint32(pr.next()) & uint32(n-1)
-		mult = uint32(pr.next()) | 1 // odd ⇒ invertible mod 2^scale
-	}
-	perm := func(v uint32) uint32 {
-		return ((v ^ mask) * mult) & uint32(n-1)
-	}
+	// 2^scale). See RMATConfig.Permute. Shared with the streamed sharded
+	// generator (stream.go) so both name the same graph.
+	perm := rmatPerm(cfg)
 
 	const chunk = 1 << 14
 	parallel.For(pool, (m+chunk-1)/chunk, 1, func(_, clo, chi int) {

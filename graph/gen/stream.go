@@ -1,0 +1,86 @@
+package gen
+
+// Streamed generation: RMAT as a deterministic, replayable chunk stream
+// instead of a materialized edge list. The in-memory path (RMATEdges →
+// BuildUndirected) holds 8 bytes per generated edge plus the full CSR at
+// once; a consumer of RMATStream can instead replay the stream as many
+// times as it needs (count degrees, then fill one shard at a time — see
+// shard.StreamWrite), holding only per-vertex arrays. That is what makes a
+// graph whose edge list exceeds RAM generatable on one box.
+//
+// The trick is that RMAT edges are regenerated, not stored: generation is
+// deterministic per fixed-size chunk (chunkRNG), so every replay of a chunk
+// yields the same edges in the same order, and chunks are independent so
+// replays parallelize. Generation is cheap relative to I/O, so k-fold
+// regeneration buys the memory bound at small time cost.
+//
+// Unlike RMAT/RMATCompact, the stream reports duplicate edges and
+// self-loops as generated (streaming dedup would need edge-list-sized state
+// — the thing being avoided); consumers drop loops and keep duplicates,
+// which are harmless to connected components and to the CSR invariants.
+
+// RMATStream is the deterministic chunked edge stream of an RMAT
+// configuration. It satisfies shard.EdgeStream: Chunk(ci) replays chunk ci's
+// edges identically on every call, already passed through the same
+// seed-derived vertex permutation as RMATEdges, so the stream and the
+// in-memory generator name the same graph.
+type RMATStream struct {
+	cfg   RMATConfig
+	n, m  int
+	chunk int
+	perm  func(uint32) uint32
+}
+
+// NewRMATStream validates cfg and returns its edge stream.
+func NewRMATStream(cfg RMATConfig) (*RMATStream, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &RMATStream{
+		cfg:   cfg,
+		n:     1 << cfg.Scale,
+		m:     (1 << cfg.Scale) * cfg.EdgeFactor,
+		chunk: 1 << 14,
+		perm:  rmatPerm(cfg),
+	}, nil
+}
+
+// Vertices returns the stream's vertex-id space size.
+func (s *RMATStream) Vertices() int { return s.n }
+
+// Edges returns the total generated edge count (self-loops and duplicates
+// included), summed over all chunks.
+func (s *RMATStream) Edges() int64 { return int64(s.m) }
+
+// Chunks returns the replayable chunk count.
+func (s *RMATStream) Chunks() int { return (s.m + s.chunk - 1) / s.chunk }
+
+// Chunk replays chunk ci, calling emit for each generated edge. Replays are
+// bit-identical; distinct chunks may run concurrently.
+func (s *RMATStream) Chunk(ci int, emit func(u, v uint32)) {
+	r := chunkRNG(s.cfg.Seed, ci)
+	lo, hi := ci*s.chunk, (ci+1)*s.chunk
+	if hi > s.m {
+		hi = s.m
+	}
+	for i := lo; i < hi; i++ {
+		e := rmatEdge(r, s.cfg)
+		emit(s.perm(e.U), s.perm(e.V))
+	}
+}
+
+// rmatPerm returns the seed-derived vertex-id bijection of cfg (identity
+// when Permute is off), shared by the in-memory and streamed generators so
+// both name the same graph.
+func rmatPerm(cfg RMATConfig) func(uint32) uint32 {
+	n := 1 << cfg.Scale
+	mask, mult := uint32(0), uint32(1)
+	if cfg.Permute && cfg.Scale > 0 {
+		pr := newRNG(cfg.Seed ^ 0x5ca1ab1e5ca1ab1e)
+		mask = uint32(pr.next()) & uint32(n-1)
+		mult = uint32(pr.next()) | 1 // odd ⇒ invertible mod 2^scale
+	}
+	return func(v uint32) uint32 {
+		return ((v ^ mask) * mult) & uint32(n-1)
+	}
+}

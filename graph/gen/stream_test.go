@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"testing"
+
+	"thriftylp/graph"
+)
+
+// TestRMATStreamMatchesEdges: replaying every chunk must reproduce
+// RMATEdges exactly — same edges, same order — since both derive per-chunk
+// RNG streams and the vertex permutation from the same seed. This is the
+// determinism contract shard.StreamWrite's two passes rely on.
+func TestRMATStreamMatchesEdges(t *testing.T) {
+	cfg := DefaultRMAT(10, 8, 42)
+	want, err := RMATEdges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRMATStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Edges() != int64(len(want)) {
+		t.Fatalf("stream reports %d edges, RMATEdges generated %d", s.Edges(), len(want))
+	}
+	got := make([]graph.Edge, 0, len(want))
+	for ci := 0; ci < s.Chunks(); ci++ {
+		s.Chunk(ci, func(u, v uint32) {
+			got = append(got, graph.Edge{U: u, V: v})
+		})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream emitted %d edges, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: stream %v, RMATEdges %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRMATStreamReplayIdentical: the same chunk must emit the same edges on
+// every replay — pass 2 of the sharded build replays chunks once per shard.
+func TestRMATStreamReplayIdentical(t *testing.T) {
+	s, err := NewRMATStream(DefaultRMAT(10, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ci := range []int{0, s.Chunks() - 1} {
+		var a, b []graph.Edge
+		s.Chunk(ci, func(u, v uint32) { a = append(a, graph.Edge{U: u, V: v}) })
+		s.Chunk(ci, func(u, v uint32) { b = append(b, graph.Edge{U: u, V: v}) })
+		if len(a) != len(b) {
+			t.Fatalf("chunk %d: %d vs %d edges across replays", ci, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("chunk %d edge %d: %v vs %v across replays", ci, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestNewRMATStreamRejectsBadConfig(t *testing.T) {
+	cfg := DefaultRMAT(10, 8, 1)
+	cfg.Scale = -1
+	if _, err := NewRMATStream(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -78,6 +78,10 @@ func StoreUint32(addr *uint32, val uint32) { atomic.StoreUint32(addr, val) }
 // AddInt64 atomically adds delta to *addr and returns the new value.
 func AddInt64(addr *int64, delta int64) int64 { return atomic.AddInt64(addr, delta) }
 
+// AddUint32 atomically adds delta to *addr and returns the new value (the
+// streamed shard builder's degree counters and row cursors).
+func AddUint32(addr *uint32, delta uint32) uint32 { return atomic.AddUint32(addr, delta) }
+
 // CASUint32 is a thin re-export of CompareAndSwapUint32, used by the
 // union-find hooking loops where the retry policy differs from MinUint32.
 func CASUint32(addr *uint32, old, new uint32) bool {

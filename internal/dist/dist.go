@@ -1,296 +1,247 @@
-// Package dist simulates distributed-memory connected components, the
-// paper's §VII future-work direction and the argument behind its framing:
-// "Disjoint Set algorithms ... do not scale to distributed memory systems
-// [while] the SpMV model of the Label Propagation algorithm allows
-// successful scaling in distributed systems" (§V-B).
+// Package dist is the shard scheduler: it drives N per-shard nodes
+// (internal/shard.Node) — goroutine "nodes" today, a process boundary later
+// — through the out-of-core connected-components pipeline:
 //
-// The simulation is a BSP (Pregel-style) cluster: each worker goroutine
-// owns a contiguous, edge-balanced vertex partition with a private label
-// array. Within a superstep a worker applies label updates along its local
-// edges directly and turns updates along cut edges into messages, combined
-// per destination vertex with MIN (the standard combiner). A barrier
-// delivers messages, targets apply them, and changed vertices form the next
-// superstep's active set. No shared mutable state crosses partitions except
-// the message channels — exactly the constraint a real distributed memory
-// system imposes, which is what makes per-superstep message counts an
-// honest network-traffic proxy.
+//  1. Solve phase, sequential over shards: load one CSR slice, solve its
+//     interior with the shared-memory Thrifty kernel at full parallelism,
+//     extract the boundary lists, release the slice. At most one shard's
+//     adjacency is resident at a time — this is what lets the pipeline run
+//     graphs whose adjacency exceeds RAM, with the per-vertex label state
+//     (a few bytes per vertex) as the only global footprint.
+//  2. Exchange phase, parallel over nodes: rounds of compacted boundary
+//     label exchange (delta-only emission, zero-convergence suppression,
+//     varint delta encoding — see shard.Node.Emit) until no component's
+//     label changes anywhere.
 //
-// Two modes reproduce the paper's comparison on this substrate:
-//
-//   - plain LP: unique initial labels, every vertex initially active;
-//   - Thrifty mode: Zero Planting on the max-degree vertex, the Initial
-//     Push as superstep 0, and Zero Convergence (converged owners neither
-//     scan nor transmit).
+// Inboxes are double-buffered by round parity: while node i decodes and
+// applies its round-r batches, node j is already encoding its round-r+1
+// batches into the other buffer, so decode and emit overlap across nodes
+// with no locks — slot (parity, dst, src) is written only by src and read
+// only by dst, with the round barrier providing the happens-before edge.
 package dist
 
 import (
 	"fmt"
-	"sync"
 
 	"thriftylp/graph"
+	"thriftylp/internal/core"
 	"thriftylp/internal/parallel"
+	"thriftylp/internal/shard"
 )
 
-// Config parameterizes a simulated cluster run.
+// Config parameterizes a sharded run.
 type Config struct {
-	// Workers is the number of simulated machines (default 4).
-	Workers int
-	// Thrifty enables Zero Planting + Initial Push + Zero Convergence.
-	Thrifty bool
-	// KLevels is the KLA asynchrony depth (Harshvardhan et al.; the model
-	// the paper's §VII plans to port Thrifty to): within one superstep each
-	// worker chases its own updates for up to K local rounds before the
-	// global exchange. 0 or 1 is plain BSP; larger K trades local work for
-	// fewer supersteps (i.e., fewer global synchronizations — the
-	// distributed latency driver).
-	KLevels int
-	// MaxSupersteps is a safety cap; 0 means 2·|V|+16.
-	MaxSupersteps int
+	// Shards is the shard count when partitioning an in-memory graph
+	// (default 4); ignored by RunSource, where the source fixes it.
+	Shards int
+	// Pool supplies worker threads; nil selects parallel.Default(). The
+	// solve phase hands the whole pool to one shard at a time; the exchange
+	// phase spreads nodes across it.
+	Pool *parallel.Pool
+	// Stop, when non-nil, is polled between shard solves and at round
+	// boundaries; once requested the run returns early with Canceled set.
+	Stop *core.Stop
+	// MaxRounds caps the exchange loop as a safety net; 0 means 2·|V|+16,
+	// which no correct run can reach (labels strictly decrease).
+	MaxRounds int
+	// Faults, when non-nil, is forwarded to the interior Thrifty solves —
+	// the kernel-level chaos policy.
+	Faults *core.FaultPlan
+	// ExchangeFault, when non-nil, is invoked by every node at the start of
+	// each exchange round — the exchange-level chaos hook. It may block,
+	// deschedule, or panic; panics surface to the caller as
+	// *parallel.PanicError like any pool-job panic.
+	ExchangeFault func(round, node int)
 }
 
-// Result reports the outcome and the distributed cost model.
+// RoundStats records one exchange round's traffic.
+type RoundStats struct {
+	// Bytes is the encoded batch bytes shipped this round.
+	Bytes int64 `json:"bytes"`
+	// NaiveBytes is what a naive full-boundary exchange would have shipped
+	// this round: every boundary entry at 8 flat bytes, changed or not.
+	NaiveBytes int64 `json:"naive_bytes"`
+	// Pairs is the (vertex, label) pair count emitted this round.
+	Pairs int64 `json:"pairs"`
+	// Suppressed is the zero-convergence suppression count this round:
+	// entries dropped because their target or addressee had already
+	// converged to label 0.
+	Suppressed int64 `json:"suppressed"`
+}
+
+// Result reports the outcome and the exchange cost model.
 type Result struct {
-	// Labels is the final component labelling (same semantics as the
-	// shared-memory algorithms: Thrifty mode converges the giant component
-	// to 0, plain mode to minimum vertex id).
+	// Labels is the final component labelling: the hub's component
+	// converges to 0, every other component to its minimum vertex id + 1 —
+	// the same value space as the shared-memory Thrifty kernel.
 	Labels []uint32
-	// Supersteps is the number of BSP supersteps executed.
-	Supersteps int
-	// MessagesSent counts combined (destination, label) messages that
-	// crossed partition boundaries — the network traffic proxy.
-	MessagesSent int64
-	// EdgeScans counts local adjacency traversals — the compute proxy.
-	EdgeScans int64
+	// Rounds is the number of exchange rounds executed (the bootstrap
+	// emission is round 1).
+	Rounds int
+	// LocalIterations sums the interior Thrifty solves' iteration counts.
+	LocalIterations int
+	// BoundaryEntries is the total deduplicated (component, target) entry
+	// count across shards — the static cut size.
+	BoundaryEntries int64
+	// ExchangedBytes is the total encoded exchange traffic.
+	ExchangedBytes int64
+	// NaiveBytes is the naive full-boundary total over the same rounds.
+	NaiveBytes int64
+	// Pairs is the total emitted pair count.
+	Pairs int64
+	// SuppressedVertices is the total zero-convergence suppression count.
+	SuppressedVertices int64
+	// PerRound holds the per-round traffic breakdown.
+	PerRound []RoundStats
+	// Canceled reports that Stop fired before convergence; Labels then
+	// holds intermediate state.
+	Canceled bool
 }
 
-// message is one combined cross-partition label update.
-type message struct {
-	dst   uint32
-	label uint32
+// Run partitions an in-memory graph into cfg.Shards edge-balanced shards
+// and solves it with the sharded pipeline. The graph's adjacency is shared
+// (shards are views), so this path measures the exchange algorithm without
+// I/O; RunSource over a shard.Set is the out-of-core path.
+func Run(g *graph.Graph, cfg Config) (Result, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	return RunSource(shard.NewGraphSource(g, cfg.Shards), cfg)
 }
 
-// worker is one simulated machine.
-type worker struct {
-	id       int
-	lo, hi   uint32 // owned vertex range [lo, hi)
-	labels   []uint32
-	active   []uint32 // owned vertices active this superstep
-	inbox    []message
-	outboxes []map[uint32]uint32 // per-destination-worker min-combiner
-}
-
-// Run executes the simulated cluster CC on g.
-func Run(g *graph.Graph, cfg Config) Result {
-	n := g.NumVertices()
-	if cfg.Workers <= 0 {
-		cfg.Workers = 4
-	}
-	if cfg.Workers > n && n > 0 {
-		cfg.Workers = n
-	}
-	maxSteps := cfg.MaxSupersteps
-	if maxSteps == 0 {
-		maxSteps = 2*n + 16
-	}
+// RunSource solves the shard set provided by src.
+func RunSource(src shard.Source, cfg Config) (Result, error) {
+	n := src.Vertices()
 	res := Result{Labels: make([]uint32, n)}
 	if n == 0 {
-		return res
+		return res, nil
+	}
+	k := src.Shards()
+	ranges := src.Ranges()
+	hub := src.Hub()
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 2*n + 16
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = parallel.Default()
+	}
+	solveCfg := core.Config{Pool: pool, Stop: cfg.Stop, Faults: cfg.Faults}
+
+	// Solve phase: one shard resident at a time.
+	nodes := make([]*shard.Node, k)
+	for i := 0; i < k; i++ {
+		if cfg.Stop.Requested() {
+			res.Canceled = true
+			return res, nil
+		}
+		sl, err := src.Slice(i)
+		if err != nil {
+			return res, err
+		}
+		node, canceled, err := shard.NewNode(i, sl, ranges, hub, solveCfg)
+		if rerr := src.Release(sl); err == nil {
+			err = rerr
+		}
+		if err != nil {
+			return res, err
+		}
+		if canceled {
+			res.Canceled = true
+			return res, nil
+		}
+		nodes[i] = node
+		res.LocalIterations += node.LocalIterations
+		res.BoundaryEntries += node.BoundaryEntries
+		node.Bootstrap()
 	}
 
-	parts := parallel.PartitionEdges(g.Offsets(), cfg.Workers)
-	owner := make([]int, n)
-	workers := make([]*worker, cfg.Workers)
-	for w := range workers {
-		lo, hi := parts[w].Lo, parts[w].Hi
-		wk := &worker{id: w, lo: lo, hi: hi, labels: make([]uint32, hi-lo)}
-		for v := lo; v < hi; v++ {
-			owner[v] = w
-			if cfg.Thrifty {
-				wk.labels[v-lo] = v + 1
-			} else {
-				wk.labels[v-lo] = v
-			}
-		}
-		workers[w] = wk
-	}
-
-	// Initial activity: Zero Planting + Initial Push seed only the hub in
-	// Thrifty mode; plain LP activates everyone.
-	if cfg.Thrifty {
-		hub := g.MaxDegreeVertex()
-		hw := workers[owner[hub]]
-		hw.labels[hub-hw.lo] = 0
-		hw.active = append(hw.active, hub)
-	} else {
-		for _, wk := range workers {
-			for v := wk.lo; v < wk.hi; v++ {
-				wk.active = append(wk.active, v)
-			}
+	// Exchange phase. inboxes[parity][dst][src] holds the batch src encoded
+	// for dst in the round of that parity; see the package comment for the
+	// ownership discipline that makes the buffers race-free.
+	var inboxes [2][][][]byte
+	for p := 0; p < 2; p++ {
+		inboxes[p] = make([][][]byte, k)
+		for d := range inboxes[p] {
+			inboxes[p][d] = make([][]byte, k)
 		}
 	}
+	perNode := make([]struct {
+		bytes, pairs int64
+		err          error
+	}, k)
 
-	var wg sync.WaitGroup
-	for steps := 0; steps < maxSteps; steps++ {
-		anyActive := false
-		for _, wk := range workers {
-			if len(wk.active) > 0 || len(wk.inbox) > 0 {
-				anyActive = true
-				break
-			}
+	for round := 0; round < maxRounds; round++ {
+		if cfg.Stop.Requested() {
+			res.Canceled = true
+			return res, nil
 		}
-		// Thrifty mode must reach the bootstrap superstep even when the
-		// hub's push activated nothing (e.g. a self-loop-only hub) — the
-		// same do-while guarantee as the shared-memory algorithm.
-		if !anyActive && !(cfg.Thrifty && res.Supersteps < 2) {
-			break
-		}
-		res.Supersteps++
-
-		// Thrifty's bootstrap: superstep 0 pushed the planted 0 from the
-		// hub only; superstep 1 activates every vertex once — the BSP
-		// equivalent of Algorithm 2's mandatory first pull, which is what
-		// guarantees vertices in components other than the giant are
-		// compared with their neighbours at least once.
-		if cfg.Thrifty && res.Supersteps == 2 {
-			for _, wk := range workers {
-				wk.active = wk.active[:0]
-				for v := wk.lo; v < wk.hi; v++ {
-					wk.active = append(wk.active, v)
+		p := round & 1
+		parallel.For(pool, k, 1, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if cfg.ExchangeFault != nil {
+					cfg.ExchangeFault(round, i)
 				}
-			}
-		}
-
-		// Compute phase: all workers in parallel, no shared writes.
-		for _, wk := range workers {
-			wk.outboxes = wk.outboxes[:0]
-			for range workers {
-				wk.outboxes = append(wk.outboxes, nil)
-			}
-		}
-		var scans, msgs int64
-		var mu sync.Mutex
-		for _, wk := range workers {
-			wg.Add(1)
-			go func(wk *worker) {
-				defer wg.Done()
-				s, m := wk.superstep(g, owner, cfg)
-				mu.Lock()
-				scans += s
-				msgs += m
-				mu.Unlock()
-			}(wk)
-		}
-		wg.Wait()
-		res.EdgeScans += scans
-		res.MessagesSent += msgs
-
-		// Communication phase: deliver combined outboxes into inboxes.
-		for _, dst := range workers {
-			dst.inbox = dst.inbox[:0]
-			for _, src := range workers {
-				for v, l := range src.outboxes[dst.id] {
-					dst.inbox = append(dst.inbox, message{dst: v, label: l})
-				}
-			}
-		}
-	}
-
-	for _, wk := range workers {
-		copy(res.Labels[wk.lo:wk.hi], wk.labels)
-	}
-	return res
-}
-
-// superstep runs one worker's compute phase: apply inbox, then propagate
-// from active vertices for up to KLevels local rounds (KLA) before the
-// global exchange. Returns (edge scans, combined messages emitted).
-func (wk *worker) superstep(g *graph.Graph, owner []int, cfg Config) (int64, int64) {
-	thrifty := cfg.Thrifty
-	kLevels := cfg.KLevels
-	if kLevels < 1 {
-		kLevels = 1
-	}
-
-	// Apply incoming messages; lowered targets join the active set.
-	newActive := wk.active[:0]
-	seen := make(map[uint32]bool, len(wk.inbox)+len(wk.active))
-	for _, v := range wk.active {
-		if !seen[v] {
-			seen[v] = true
-			newActive = append(newActive, v)
-		}
-	}
-	for _, m := range wk.inbox {
-		i := m.dst - wk.lo
-		if m.label < wk.labels[i] {
-			wk.labels[i] = m.label
-			if !seen[m.dst] {
-				seen[m.dst] = true
-				newActive = append(newActive, m.dst)
-			}
-		}
-	}
-
-	var scans, msgs int64
-	send := func(dst uint32, label uint32) {
-		w := owner[dst]
-		if wk.outboxes[w] == nil {
-			wk.outboxes[w] = make(map[uint32]uint32)
-		}
-		if cur, ok := wk.outboxes[w][dst]; !ok || label < cur {
-			wk.outboxes[w][dst] = label
-		}
-	}
-
-	// KLA rounds: round 0 processes the superstep's active set; each
-	// further round chases the locally-lowered vertices without waiting for
-	// the global barrier. Remote updates always go through the combiner.
-	frontier := newActive
-	var next []uint32
-	for round := 0; round < kLevels && len(frontier) > 0; round++ {
-		next = next[:0]
-		nextSeen := make(map[uint32]bool, len(frontier))
-		for _, v := range frontier {
-			lv := wk.labels[v-wk.lo]
-			for _, u := range g.Neighbors(v) {
-				scans++
-				if owner[u] == wk.id {
-					i := u - wk.lo
-					// Zero Convergence: a converged local target needs no work.
-					if thrifty && wk.labels[i] == 0 && lv != 0 {
-						continue
-					}
-					if lv < wk.labels[i] {
-						wk.labels[i] = lv
-						if !nextSeen[u] {
-							nextSeen[u] = true
-							next = append(next, u)
+				st := &perNode[i]
+				st.bytes, st.pairs, st.err = 0, 0, nil
+				// Decode and apply this round's inbound batches...
+				for s := 0; s < k; s++ {
+					if b := inboxes[p][i][s]; b != nil {
+						inboxes[p][i][s] = nil //thrifty:benign-race node i owns row [p][i] during its round
+						if err := nodes[i].Apply(b); err != nil {
+							st.err = err
+							return
 						}
 					}
-				} else {
-					// Remote target: the combiner dedups per (worker, vertex).
-					send(u, lv)
 				}
+				// ...then encode the next round's outbound ones.
+				batches, pairs := nodes[i].Emit(k)
+				for d := range batches {
+					if batches[d] != nil {
+						inboxes[1-p][d][i] = batches[d] //thrifty:benign-race node i owns column [1-p][*][i]; rows are read only next round
+						st.bytes += int64(len(batches[d]))
+					}
+				}
+				st.pairs = pairs
 			}
+		})
+		var rs RoundStats
+		var suppressed int64
+		for i := range perNode {
+			if perNode[i].err != nil {
+				return res, perNode[i].err
+			}
+			rs.Bytes += perNode[i].bytes
+			rs.Pairs += perNode[i].pairs
+			suppressed += nodes[i].Suppressed
 		}
-		frontier, next = next, frontier
+		rs.Suppressed = suppressed - res.SuppressedVertices
+		res.SuppressedVertices = suppressed
+		rs.NaiveBytes = res.BoundaryEntries * shard.NaivePairBytes
+		res.Rounds++
+		res.PerRound = append(res.PerRound, rs)
+		res.ExchangedBytes += rs.Bytes
+		res.NaiveBytes += rs.NaiveBytes
+		res.Pairs += rs.Pairs
+		if rs.Bytes == 0 {
+			break
+		}
 	}
-	for _, ob := range wk.outboxes {
-		msgs += int64(len(ob))
+
+	for _, node := range nodes {
+		node.Labels(res.Labels)
 	}
-	// Whatever the last round activated carries into the next superstep.
-	wk.active = append(wk.active[:0], frontier...)
-	wk.inbox = wk.inbox[:0]
-	return scans, msgs
+	return res, nil
 }
 
 // Validate sanity-checks a Config.
 func (c Config) Validate() error {
-	if c.Workers < 0 {
-		return fmt.Errorf("dist: negative worker count %d", c.Workers)
+	if c.Shards < 0 {
+		return fmt.Errorf("dist: negative shard count %d", c.Shards)
 	}
-	if c.MaxSupersteps < 0 {
-		return fmt.Errorf("dist: negative superstep cap %d", c.MaxSupersteps)
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("dist: negative round cap %d", c.MaxRounds)
 	}
 	return nil
 }

@@ -57,57 +57,39 @@ func ExpAblations(cfg RunConfig) (*Table, error) {
 	return t, nil
 }
 
-// ExpDistributed reproduces the paper's distributed-memory argument (§V-B,
-// §VII) on the simulated BSP cluster: supersteps and combined messages for
-// plain LP vs Thrifty-mode LP across cluster sizes.
+// ExpDistributed measures the sharded out-of-core pipeline (internal/dist
+// driving internal/shard): exchange rounds and compacted vs naive boundary
+// traffic across shard counts, on a hub-heavy and a high-diameter dataset.
 func ExpDistributed(cfg RunConfig) (*Table, error) {
 	t := &Table{
 		ID:      "dist",
-		Title:   "Simulated distributed CC: plain LP vs Thrifty-mode, BSP vs KLA (extension experiment)",
-		Columns: []string{"Dataset", "Workers", "Mode", "K", "Supersteps", "Messages", "EdgeScans"},
+		Title:   "Sharded out-of-core CC: compacted boundary exchange vs naive (extension experiment)",
+		Columns: []string{"Dataset", "Shards", "Rounds", "Boundary", "Exchanged B", "Naive B", "Suppressed"},
 		Notes: []string{
-			"BSP/Pregel simulation (internal/dist): messages are min-combined per destination; Thrifty mode = Zero Planting + Initial Push + Zero Convergence; K is the KLA asynchrony depth (§VII).",
+			"Per-shard interior Thrifty solves, then compacted boundary-label exchange (delta-only emission, zero-convergence suppression, varint deltas); Naive is the same boundary at 8 flat bytes per entry every round.",
 		},
 	}
-	d, err := FindDataset(cfg.scale(), "social-twitter")
-	if err != nil {
-		return nil, err
-	}
-	g, err := BuildCached(cfg.scale(), d)
-	if err != nil {
-		return nil, err
-	}
-	oracle := cc.Sequential(g)
-	for _, workers := range []int{2, 4, 8, 16} {
-		for _, thrifty := range []bool{false, true} {
-			res := dist.Run(g, dist.Config{Workers: workers, Thrifty: thrifty})
+	for _, name := range []string{"social-twitter", "web-uk"} {
+		d, err := FindDataset(cfg.scale(), name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := BuildCached(cfg.scale(), d)
+		if err != nil {
+			return nil, err
+		}
+		oracle := cc.Sequential(g)
+		for _, shards := range []int{2, 4, 8, 16} {
+			res, err := dist.Run(g, dist.Config{Shards: shards})
+			if err != nil {
+				return nil, err
+			}
 			if !cc.Equivalent(res.Labels, oracle) {
-				return nil, fmt.Errorf("dist run workers=%d thrifty=%v wrong partition", workers, thrifty)
+				return nil, fmt.Errorf("dist run shards=%d wrong partition", shards)
 			}
-			mode := "plain-lp"
-			if thrifty {
-				mode = "thrifty"
-			}
-			t.AddRow(d.Name, workers, mode, 1, res.Supersteps, res.MessagesSent, res.EdgeScans)
+			t.AddRow(d.Name, shards, res.Rounds, res.BoundaryEntries,
+				res.ExchangedBytes, res.NaiveBytes, res.SuppressedVertices)
 		}
-	}
-	// KLA sweep on a high-diameter dataset, where cutting supersteps (each
-	// one a global synchronization) matters most.
-	dw, err := FindDataset(cfg.scale(), "web-uk")
-	if err != nil {
-		return nil, err
-	}
-	gw, err := BuildCached(cfg.scale(), dw)
-	if err != nil {
-		return nil, err
-	}
-	oracleW := cc.Sequential(gw)
-	for _, k := range []int{1, 2, 4, 8, 16} {
-		res := dist.Run(gw, dist.Config{Workers: 8, Thrifty: true, KLevels: k})
-		if !cc.Equivalent(res.Labels, oracleW) {
-			return nil, fmt.Errorf("dist KLA k=%d wrong partition", k)
-		}
-		t.AddRow(dw.Name, 8, "thrifty", k, res.Supersteps, res.MessagesSent, res.EdgeScans)
 	}
 	return t, nil
 }

@@ -21,13 +21,17 @@ var Frozen = map[string]bool{
 	"graph: bad magic %#x":                                                 true,
 	"graph: duplicate vertex %d in subgraph set":                           true,
 	"graph: edge {%d,%d} out of range [0,%d)":                              true,
+	"graph: empty offsets array":                                           true,
 	"graph: header claims %d vertices, above the uint32 id space":          true,
 	"graph: header sizes overflow (%d vertices, %d slots)":                 true,
 	"graph: labelling has %d entries for %d vertices":                      true,
 	"graph: line %d: %s":                                                   true,
 	"graph: mmap unavailable":                                              true,
+	"graph: negative slot count %d":                                        true,
+	"graph: offsets byte size overflows (%d entries, %d slots)":            true,
 	"graph: offsets not monotone at vertex %d":                             true,
 	"graph: offsets[%d] = %d, want len(adj) = %d":                          true,
+	"graph: offsets[%d] = %d, want slot count %d":                          true,
 	"graph: offsets[0] = %d, want 0":                                       true,
 	"graph: perm maps two vertices to %d":                                  true,
 	"graph: perm[%d] = %d out of range":                                    true,
@@ -35,9 +39,14 @@ var Frozen = map[string]bool{
 	"graph: reading adjacency: %w":                                         true,
 	"graph: reading binary header: %w":                                     true,
 	"graph: reading offsets: %w":                                           true,
+	"graph: reading slice header: %w":                                      true,
+	"graph: slice has %d offsets for range [%d,%d)":                        true,
+	"graph: slice header range [%d,%d) invalid for %d vertices":            true,
+	"graph: slice range [%d,%d) invalid for %d vertices":                   true,
 	"graph: subgraph vertex %d out of range [0,%d)":                        true,
 	"graph: unsupported version %d":                                        true,
 	"graph: use of mmap-backed graph after Close":                          true,
+	"graph: vertex %d degree %d exceeds the uint32 range":                  true,
 	"graph: vertex %d has out-degree %d but in-degree %d (asymmetric CSR)": true,
 	"graph: vertex id %d is reserved (id space is [0,%d))":                 true,
 }

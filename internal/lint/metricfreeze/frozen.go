@@ -25,6 +25,13 @@ var Frozen = map[string]bool{
 	"thriftylp_events_":                       true, // + sanitized event + "_total"
 	"thriftylp_phase_":                        true, // + sanitized kind + "_seconds"
 
+	// Sharded-pipeline exchange series (internal/obs).
+	"thriftylp_shard_rounds_total":          true,
+	"thriftylp_shard_exchanged_bytes_total": true,
+	"thriftylp_shard_naive_bytes_total":     true,
+	"thriftylp_shard_suppressed_total":      true,
+	"thriftylp_shard_boundary_entries":      true,
+
 	// Watchdog series (internal/obs).
 	"thriftylp_runtime_heap_alloc_bytes":       true,
 	"thriftylp_runtime_heap_inuse_bytes":       true,

@@ -218,6 +218,13 @@ const (
 	MetricFailedSteals     = "thriftylp_sched_steal_failures_total"
 	MetricPoolJobs         = "thriftylp_pool_jobs_total"
 	MetricPoolIdleSeconds  = "thriftylp_pool_idle_seconds"
+
+	// Sharded-pipeline exchange metrics (populated only by AlgoShard runs).
+	MetricShardRounds         = "thriftylp_shard_rounds_total"
+	MetricShardExchangedBytes = "thriftylp_shard_exchanged_bytes_total"
+	MetricShardNaiveBytes     = "thriftylp_shard_naive_bytes_total"
+	MetricShardSuppressed     = "thriftylp_shard_suppressed_total"
+	MetricShardBoundary       = "thriftylp_shard_boundary_entries"
 )
 
 // EventMetric returns the counter name for a software event ("edges" →
@@ -254,5 +261,12 @@ func (r *Registry) ObserveRun(res *cc.Result) {
 	}
 	for event, n := range st.Events {
 		r.Add(EventMetric(event), n)
+	}
+	if sh := st.Shard; sh != nil {
+		r.Add(MetricShardRounds, int64(sh.Rounds))
+		r.Add(MetricShardExchangedBytes, sh.ExchangedBytes)
+		r.Add(MetricShardNaiveBytes, sh.NaiveBytes)
+		r.Add(MetricShardSuppressed, sh.SuppressedVertices)
+		r.SetGauge(MetricShardBoundary, float64(sh.BoundaryEntries))
 	}
 }

@@ -88,6 +88,32 @@ func TestObserveRun(t *testing.T) {
 	if got := r.Counter(MetricRuns); got != 2 {
 		t.Errorf("%s = %d after nil-stats observes, want 2", MetricRuns, got)
 	}
+	// Shard telemetry folds only when present.
+	if got := r.Counter(MetricShardRounds); got != 0 {
+		t.Errorf("%s = %d before any shard run, want 0", MetricShardRounds, got)
+	}
+	r.ObserveRun(&cc.Result{Stats: &cc.RunStats{
+		Algorithm: cc.AlgoShard,
+		Shard: &cc.ShardStats{
+			Shards: 4, Rounds: 3, BoundaryEntries: 500,
+			ExchangedBytes: 900, NaiveBytes: 4000, SuppressedVertices: 42,
+		},
+	}})
+	if got := r.Counter(MetricShardRounds); got != 3 {
+		t.Errorf("%s = %d, want 3", MetricShardRounds, got)
+	}
+	if got := r.Counter(MetricShardExchangedBytes); got != 900 {
+		t.Errorf("%s = %d, want 900", MetricShardExchangedBytes, got)
+	}
+	if got := r.Counter(MetricShardNaiveBytes); got != 4000 {
+		t.Errorf("%s = %d, want 4000", MetricShardNaiveBytes, got)
+	}
+	if got := r.Counter(MetricShardSuppressed); got != 42 {
+		t.Errorf("%s = %d, want 42", MetricShardSuppressed, got)
+	}
+	if got := r.Gauge(MetricShardBoundary); got != 500 {
+		t.Errorf("%s = %v, want 500", MetricShardBoundary, got)
+	}
 }
 
 func TestTraceRoundTrip(t *testing.T) {

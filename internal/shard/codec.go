@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Boundary-exchange wire format. A message from one shard to another is a
+// batch of (vertex, label) pairs: "vertex v of yours is adjacent to one of
+// my components whose label is now l". Batches are sorted by vertex and
+// encoded as
+//
+//	uvarint count
+//	count × { uvarint vertexDelta, uvarint label }
+//
+// where the first vertexDelta is relative to the destination shard's Lo and
+// each subsequent one to the previous vertex. Sorted ids make the deltas
+// small; hub-component labels are literally 0, so the common suppressing
+// message costs two bytes. NaivePairBytes is the flat encoding a
+// no-compaction exchange would use — the denominator the BENCH_shard gate
+// compares against.
+
+// Pair is one decoded exchange message: global vertex V receives label L.
+type Pair struct {
+	V, L uint32
+}
+
+// NaivePairBytes is the per-pair cost of a naive fixed-width boundary
+// exchange: a 4-byte vertex id plus a 4-byte label, shipped every round for
+// every boundary entry whether or not anything changed.
+const NaivePairBytes = 8
+
+// AppendPairs encodes pairs into buf and returns the extended buffer. Pairs
+// are sorted in place by vertex and deduplicated keeping the minimum label
+// per vertex (the MIN combiner: only the smallest incoming label can matter).
+// base must be the destination shard's Lo and every pair's V at least base.
+func AppendPairs(buf []byte, base uint32, pairs []Pair) []byte {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].V != pairs[j].V {
+			return pairs[i].V < pairs[j].V
+		}
+		return pairs[i].L < pairs[j].L
+	})
+	// Dedup in place: first occurrence per vertex carries the min label.
+	w := 0
+	for i, p := range pairs {
+		if i > 0 && p.V == pairs[w-1].V {
+			continue
+		}
+		pairs[w] = p
+		w++
+	}
+	pairs = pairs[:w]
+
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(w))]...)
+	prev := base
+	for _, p := range pairs {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(p.V-prev))]...)
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(p.L))]...)
+		prev = p.V
+	}
+	return buf
+}
+
+// DecodePairs decodes a batch encoded by AppendPairs, invoking fn for every
+// pair in ascending vertex order. hi bounds the vertex ids (the destination
+// shard's Hi); a batch decoding outside [base, hi) or truncating mid-pair is
+// reported as an error rather than applied.
+func DecodePairs(data []byte, base, hi uint32, fn func(v, label uint32)) error {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("shard: corrupt exchange batch header")
+	}
+	data = data[n:]
+	v := uint64(base)
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("shard: exchange batch truncated at pair %d of %d", i, count)
+		}
+		data = data[n:]
+		label, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("shard: exchange batch truncated at pair %d of %d", i, count)
+		}
+		data = data[n:]
+		v += delta
+		if v >= uint64(hi) || label > uint64(^uint32(0)) {
+			return fmt.Errorf("shard: exchange pair (%d,%d) outside shard range [%d,%d)", v, label, base, hi)
+		}
+		fn(uint32(v), uint32(label))
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("shard: %d trailing bytes after exchange batch", len(data))
+	}
+	return nil
+}

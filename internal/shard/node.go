@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"sort"
+
+	"thriftylp/graph"
+	"thriftylp/internal/core"
+	"thriftylp/internal/parallel"
+)
+
+// Node is the per-shard state machine of the out-of-core solver. Its life
+// has two phases:
+//
+//  1. Solve (NewNode): the shard's interior subgraph — both endpoints inside
+//     [Lo, Hi) — is built and solved with the shared-memory Thrifty kernel,
+//     collapsing the shard to its interior components. Boundary edges are
+//     extracted into per-component, per-destination target lists, after
+//     which the shard's adjacency is never touched again and its mapping can
+//     be released.
+//  2. Exchange (Apply/Emit rounds, driven by internal/dist): components
+//     exchange labels along boundary edges to global convergence. Each
+//     component starts labelled min-global-id+1 — except the component
+//     holding the global hub, which starts at 0 (Zero Planting carried
+//     across the shard cut) — and MIN-combines incoming labels, so the
+//     fixpoint labels each global component with the minimum over its
+//     interior components' seeds: 0 for the hub's component, distinct
+//     min-id+1 values elsewhere. That is exactly Thrifty's label value
+//     space, which is what makes the sharded result bijective with the
+//     unsharded one.
+//
+// Compaction in Emit (delta-only emission, zero-convergence suppression,
+// MIN-dedup, varint deltas) is documented on Emit.
+type Node struct {
+	// ID is the shard index; Lo, Hi its owned global vertex range.
+	ID     int
+	Lo, Hi uint32
+
+	// rep[v-Lo] is v's interior component representative: the smallest local
+	// id in the component. Representatives double as indices into the
+	// per-component arrays below (only rep-valued slots are meaningful).
+	rep []uint32
+	// label[r] is component r's current global label.
+	label []uint32
+	// suppressed[r] is set once component r has converged to label 0 and
+	// shipped its final 0-emission: it is dropped from every future exchange
+	// (its targets freed) — the cross-shard form of Zero Convergence.
+	suppressed []bool
+	// out[r] lists component r's boundary targets per destination shard;
+	// freed on suppression.
+	out [][]destTargets
+	// knownZero marks remote vertices this node has shipped a 0 to: their
+	// labels are final, so any further entry targeting them is dead and is
+	// dropped (and counted) instead of emitted.
+	knownZero map[uint32]bool
+	// changed lists representatives whose label dropped since the last Emit;
+	// isChanged dedups it.
+	changed   []uint32
+	isChanged []bool
+	// ranges is the full set's shard ranges: Emit encodes each batch's
+	// vertex deltas against the destination's Lo.
+	ranges []parallel.Range
+
+	// LocalIterations is the interior Thrifty solve's iteration count.
+	LocalIterations int
+	// BoundaryEntries is the node's total (component, target) entry count
+	// after construction-time dedup — its share of the naive exchange.
+	BoundaryEntries int64
+	// Suppressed counts exchange entries dropped by zero-convergence
+	// suppression: dead-target emissions skipped plus incoming pairs for
+	// already-suppressed components.
+	Suppressed int64
+}
+
+// destTargets is one component's boundary targets inside one destination
+// shard, sorted ascending.
+type destTargets struct {
+	dest    int
+	targets []uint32
+}
+
+// NewNode builds shard id from slice s: solves the interior subgraph with
+// core.Thrifty under cfg (Pool/Stop/Faults are honoured; instrumentation
+// must not be set — nodes run concurrently with shared sinks otherwise) and
+// extracts the boundary lists. ranges must be the full set's ranges and hub
+// the global max-degree vertex. canceled reports that cfg.Stop fired before
+// the interior solve converged; the node is then unusable.
+func NewNode(id int, s *graph.CSRSlice, ranges []parallel.Range, hub uint32, cfg core.Config) (n *Node, canceled bool, err error) {
+	lo, hi := s.Lo, s.Hi
+	local := s.NumLocal()
+	n = &Node{ID: id, Lo: lo, Hi: hi, ranges: ranges, knownZero: make(map[uint32]bool)}
+	if local == 0 {
+		return n, false, nil
+	}
+
+	// Interior subgraph: both endpoints in [lo, hi), ids rebased to local.
+	// Symmetric by construction — the global CSR is symmetric and the filter
+	// keeps an edge iff it keeps its mirror.
+	offsets := make([]int64, local+1)
+	for v := 0; v < local; v++ {
+		row := s.Adj[s.Offsets[v]:s.Offsets[v+1]]
+		deg := int64(0)
+		for _, u := range row {
+			if u >= lo && u < hi {
+				deg++
+			}
+		}
+		offsets[v+1] = offsets[v] + deg
+	}
+	if err := graph.CheckOffsets64(offsets, offsets[local]); err != nil {
+		return nil, false, err
+	}
+	adj := make([]uint32, offsets[local])
+	w := 0
+	for v := 0; v < local; v++ {
+		row := s.Adj[s.Offsets[v]:s.Offsets[v+1]]
+		for _, u := range row {
+			if u >= lo && u < hi {
+				adj[w] = u - lo
+				w++
+			}
+		}
+	}
+	ig, err := graph.FromCSR(offsets, adj)
+	if err != nil {
+		return nil, false, err
+	}
+	res := core.Thrifty(ig, cfg)
+	if res.Canceled {
+		return nil, true, nil
+	}
+	n.LocalIterations = res.Iterations
+	n.rep = core.Normalize(res.Labels)
+
+	// Seed the component labels: min global id + 1, hub's component 0.
+	n.label = make([]uint32, local)
+	n.suppressed = make([]bool, local)
+	n.isChanged = make([]bool, local)
+	for v := 0; v < local; v++ {
+		r := n.rep[v]
+		if uint32(v) == r {
+			n.label[r] = lo + r + 1
+		}
+	}
+	if hub >= lo && hub < hi {
+		n.label[n.rep[hub-lo]] = 0
+	}
+
+	n.buildBoundary(s, ranges)
+	return n, false, nil
+}
+
+// boundaryEntry is a construction-time triple, sorted to group and dedup.
+type boundaryEntry struct {
+	rep    uint32
+	dest   int32
+	target uint32
+}
+
+// buildBoundary extracts the shard's cut edges into per-component,
+// per-destination sorted target lists, deduplicating parallel entries (two
+// interior vertices of one component adjacent to the same remote vertex
+// produce one entry — they could only ever ship the same label).
+func (n *Node) buildBoundary(s *graph.CSRSlice, ranges []parallel.Range) {
+	var entries []boundaryEntry
+	for v := 0; v < s.NumLocal(); v++ {
+		row := s.Adj[s.Offsets[v]:s.Offsets[v+1]]
+		r := n.rep[v]
+		for _, u := range row {
+			if u < n.Lo || u >= n.Hi {
+				entries = append(entries, boundaryEntry{rep: r, dest: int32(OwnerOf(ranges, u)), target: u})
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.rep != b.rep {
+			return a.rep < b.rep
+		}
+		if a.dest != b.dest {
+			return a.dest < b.dest
+		}
+		return a.target < b.target
+	})
+	n.out = make([][]destTargets, s.NumLocal())
+	for i := 0; i < len(entries); {
+		j := i
+		for j < len(entries) && entries[j].rep == entries[i].rep && entries[j].dest == entries[i].dest {
+			j++
+		}
+		targets := make([]uint32, 0, j-i)
+		for k := i; k < j; k++ {
+			if len(targets) == 0 || targets[len(targets)-1] != entries[k].target {
+				targets = append(targets, entries[k].target)
+			}
+		}
+		r := entries[i].rep
+		n.out[r] = append(n.out[r], destTargets{dest: int(entries[i].dest), targets: targets})
+		n.BoundaryEntries += int64(len(targets))
+		i = j
+	}
+}
+
+// Bootstrap marks every component with boundary targets as changed, so the
+// first Emit ships the initial labels — the cross-shard analogue of
+// Thrifty's Initial Push (the planted 0 leaves the hub's shard in round 0).
+func (n *Node) Bootstrap() {
+	for r, dts := range n.out {
+		if len(dts) > 0 {
+			n.markChanged(uint32(r))
+		}
+	}
+}
+
+// Apply MIN-combines one incoming batch into the node's component labels.
+// Pairs addressing suppressed (label-0) components are counted and skipped:
+// nothing can improve on 0.
+func (n *Node) Apply(data []byte) error {
+	return DecodePairs(data, n.Lo, n.Hi, func(v, label uint32) {
+		r := n.rep[v-n.Lo]
+		if n.suppressed[r] {
+			n.Suppressed++
+			return
+		}
+		if label < n.label[r] {
+			n.label[r] = label
+			n.markChanged(r)
+		}
+	})
+}
+
+func (n *Node) markChanged(r uint32) {
+	if !n.isChanged[r] {
+		n.isChanged[r] = true
+		n.changed = append(n.changed, r)
+	}
+}
+
+// Emit encodes the round's outgoing batches, one per destination shard
+// (nil for destinations with nothing to say), and returns them with the
+// number of pairs shipped. Compaction, in the order applied:
+//
+//   - delta-only emission: only components whose label changed since the
+//     last Emit appear at all;
+//   - zero-convergence suppression: a component that changed to 0 ships that
+//     final 0 once, marks each target as known-zero, and frees its lists;
+//     entries from any component targeting a known-zero vertex are dropped
+//     (the target's label is already the global minimum) and counted in
+//     Suppressed;
+//   - MIN-dedup and varint delta-encoding inside AppendPairs.
+func (n *Node) Emit(numShards int) (batches [][]byte, pairs int64) {
+	if len(n.changed) == 0 {
+		return nil, 0
+	}
+	perDest := make([][]Pair, numShards)
+	for _, r := range n.changed {
+		n.isChanged[r] = false
+		if n.suppressed[r] {
+			continue
+		}
+		lab := n.label[r]
+		for _, dt := range n.out[r] {
+			for _, t := range dt.targets {
+				if n.knownZero[t] {
+					n.Suppressed++
+					continue
+				}
+				perDest[dt.dest] = append(perDest[dt.dest], Pair{V: t, L: lab})
+				if lab == 0 {
+					n.knownZero[t] = true
+				}
+			}
+		}
+		if lab == 0 {
+			n.suppressed[r] = true
+			n.out[r] = nil
+		}
+	}
+	n.changed = n.changed[:0]
+
+	batches = make([][]byte, numShards)
+	for d, ps := range perDest {
+		if len(ps) == 0 {
+			continue
+		}
+		batches[d] = AppendPairs(nil, n.ranges[d].Lo, ps)
+		pairs += int64(len(ps))
+	}
+	return batches, pairs
+}
+
+// Labels writes the node's final per-vertex labels into the global array.
+func (n *Node) Labels(global []uint32) {
+	for v := 0; v < len(n.rep); v++ {
+		global[int(n.Lo)+v] = n.label[n.rep[v]]
+	}
+}

@@ -1,0 +1,157 @@
+// External test package: these tests drive the full out-of-core pipeline
+// (gen.RMATStream → StreamWrite → dist.RunSource), and dist imports shard,
+// so an in-package test would be an import cycle.
+package shard_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thriftylp/graph"
+	"thriftylp/graph/gen"
+	"thriftylp/internal/core"
+	"thriftylp/internal/dist"
+	"thriftylp/internal/shard"
+)
+
+// streamWrite builds the sharded set for cfg in dir.
+func streamWrite(t *testing.T, cfg gen.RMATConfig, dir string, shards int) (*shard.Manifest, *shard.StreamStats) {
+	t.Helper()
+	src, err := gen.NewRMATStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, stats, err := shard.StreamWrite(src, dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, stats
+}
+
+// streamReference builds the in-memory multigraph the streamed path must
+// reproduce: same edge stream, self-loops dropped, duplicates kept, rows
+// sorted.
+func streamReference(t *testing.T, cfg gen.RMATConfig) *graph.Graph {
+	t.Helper()
+	edges, err := gen.RMATEdges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.BuildUndirected(edges,
+		graph.WithNumVertices(1<<cfg.Scale),
+		graph.WithoutSelfLoops(),
+		graph.WithSortedAdjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestStreamWriteMatchesInMemory: the streamed shard set must describe
+// exactly the graph that RMATEdges + BuildUndirected produce — same rows,
+// same hub, same slot count — across shard counts.
+func TestStreamWriteMatchesInMemory(t *testing.T) {
+	cfg := gen.DefaultRMAT(10, 8, 42)
+	ref := streamReference(t, cfg)
+	for _, shards := range []int{1, 3, 4, 8} {
+		dir := t.TempDir()
+		m, stats := streamWrite(t, cfg, dir, shards)
+		if m.Vertices != ref.NumVertices() || m.Slots != ref.NumDirectedEdges() {
+			t.Fatalf("shards=%d: manifest %d/%d, want %d/%d",
+				shards, m.Vertices, m.Slots, ref.NumVertices(), ref.NumDirectedEdges())
+		}
+		if m.Hub != ref.MaxDegreeVertex() {
+			t.Fatalf("shards=%d: hub %d, want %d", shards, m.Hub, ref.MaxDegreeVertex())
+		}
+		if stats.DirectedSlots != m.Slots {
+			t.Fatalf("shards=%d: stats report %d slots, manifest %d", shards, stats.DirectedSlots, m.Slots)
+		}
+		set, err := shard.Open(dir)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i := 0; i < set.Shards(); i++ {
+			sl, err := set.Slice(i)
+			if err != nil {
+				t.Fatalf("shards=%d slice %d: %v", shards, i, err)
+			}
+			for v := sl.Lo; v < sl.Hi; v++ {
+				got, want := sl.Row(v), ref.Neighbors(v)
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d row %d: %d slots, want %d", shards, v, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("shards=%d row %d slot %d: %d, want %d", shards, v, j, got[j], want[j])
+					}
+				}
+			}
+			if err := set.Release(sl); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestStreamWriteSolve pins the whole out-of-core pipeline: streamed
+// generation → on-disk shard set → sharded solve, equivalent to unsharded
+// Thrifty on the in-memory reference graph.
+func TestStreamWriteSolve(t *testing.T) {
+	cfg := gen.DefaultRMAT(11, 8, 7)
+	ref := streamReference(t, cfg)
+	dir := t.TempDir()
+	streamWrite(t, cfg, dir, 4)
+	set, err := shard.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dist.RunSource(set, dist.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Thrifty(ref, core.Config{})
+	if !core.Equivalent(res.Labels, want.Labels) {
+		t.Fatal("streamed sharded solve differs from unsharded Thrifty on the reference graph")
+	}
+}
+
+// TestStreamWriteDeterministic: the row sort makes shard file bytes
+// independent of scheduling — two runs must produce identical files.
+func TestStreamWriteDeterministic(t *testing.T) {
+	cfg := gen.DefaultRMAT(10, 8, 123)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	streamWrite(t, cfg, dirA, 3)
+	streamWrite(t, cfg, dirB, 3)
+	for i := 0; i < 3; i++ {
+		name := shard.ShardFileName(i)
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("shard file %s differs between identical runs", name)
+		}
+	}
+}
+
+// TestStreamStatsMemoryShape: the accounting that justifies the streamed
+// path — its peak heap must undercut even the bare edge list of the
+// in-memory path once the graph is split into enough shards.
+func TestStreamStatsMemoryShape(t *testing.T) {
+	cfg := gen.DefaultRMAT(12, 16, 42)
+	_, stats := streamWrite(t, cfg, t.TempDir(), 8)
+	if stats.PeakBytes <= 0 || stats.EdgeListBytes <= 0 {
+		t.Fatalf("degenerate stats: %+v", stats)
+	}
+	if stats.PeakBytes >= stats.EdgeListBytes {
+		t.Fatalf("streamed peak %d B >= edge-list floor %d B: streaming bought nothing", stats.PeakBytes, stats.EdgeListBytes)
+	}
+	if stats.DirectedSlots != 2*(int64(1<<cfg.Scale)*int64(cfg.EdgeFactor)-stats.SelfLoops) {
+		t.Fatalf("slot accounting inconsistent: %+v", stats)
+	}
+}
