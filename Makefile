@@ -13,9 +13,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Run the thriftyvet analyzer suite (hotpath, benignrace, padded, errfreeze,
-# cancelpoint) over the whole module through the go vet driver; see
-# DESIGN.md §12 for the annotation grammar.
+# Run the thriftyvet analyzer suite — hotpath, benignrace, padded,
+# errfreeze, metricfreeze, cancelpoint, plus the CFG/facts-based reflease,
+# mmapsafe, goroleak and dirhygiene — over the whole module through the go
+# vet driver; see DESIGN.md §12 for the annotation grammar and §17 for the
+# dataflow engine.
 lint:
 	$(GO) build -o bin/thriftyvet ./cmd/thriftyvet
 	$(GO) vet -vettool=$(CURDIR)/bin/thriftyvet ./...

@@ -133,7 +133,7 @@ func main() {
 	fmt.Printf("thriftyd listening on http://%s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
+	go func() { serveErr <- srv.Serve(ln) }() //thrifty:goroutine exits when Drain closes the listener; error lands in serveErr
 
 	// Lifecycle signals. SIGHUP = hot reload; SIGTERM/SIGINT = two-stage
 	// drain, mirroring the CLIs' SIGINT handling: first signal graceful,
@@ -145,6 +145,7 @@ func main() {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	//thrifty:goroutine exits with the process; reload channel is never closed by design
 	go func() {
 		for range reload {
 			if err := srv.Reload(ctx); err != nil {
@@ -153,7 +154,7 @@ func main() {
 		}
 	}()
 	if *watch > 0 {
-		go func() { _ = srv.Watch(ctx, *watch) }()
+		go func() { _ = srv.Watch(ctx, *watch) }() //thrifty:goroutine Watch returns when ctx is cancelled before drain
 	}
 
 	if err := srv.Load(ctx); err != nil {
@@ -174,7 +175,7 @@ func main() {
 	dctx, dcancel := context.WithTimeout(context.Background(), *drain)
 	defer dcancel()
 	drained := make(chan error, 1)
-	go func() { drained <- srv.Drain(dctx) }()
+	go func() { drained <- srv.Drain(dctx) }() //thrifty:goroutine Drain is bounded by dctx timeout; result lands in drained
 
 	select {
 	case err := <-drained:

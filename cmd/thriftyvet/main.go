@@ -1,14 +1,24 @@
-// Command thriftyvet is the repository's custom vet multichecker: six
+// Command thriftyvet is the repository's custom vet multichecker: ten
 // go/analysis-style analyzers that mechanically enforce invariants DESIGN.md
-// could previously only state in prose (§12):
+// could previously only state in prose (§12, §17):
 //
-//	hotpath     //thrifty:hotpath kernels stay allocation-free
-//	benignrace  plain shared writes in workers carry //thrifty:benign-race;
-//	            atomics route through internal/atomicx
-//	padded      //thrifty:padded structs stay cache-line padded
-//	errfreeze   graph error strings match the frozen list
+//	hotpath      //thrifty:hotpath kernels stay allocation-free
+//	benignrace   plain shared writes in workers carry //thrifty:benign-race;
+//	             atomics route through internal/atomicx
+//	padded       //thrifty:padded structs stay cache-line padded
+//	errfreeze    graph/serve/shard/dist error strings match the frozen lists
 //	metricfreeze obs/serve metric names match the frozen list
-//	cancelpoint exported kernels thread and reach Config.cancelPoint
+//	cancelpoint  exported kernels thread and reach Config.cancelPoint
+//	reflease     snapshot references from Acquire are released on every path
+//	mmapsafe     no use of mmap-backed memory or its aliases after Close
+//	goroleak     go statements outside internal/parallel name a shutdown path
+//	dirhygiene   //thrifty: directives are known, placed, reasoned, and live
+//
+// reflease and mmapsafe are path-sensitive: they walk the control-flow
+// graphs built by internal/lint/cfg and read analyzer facts (exported by
+// the graph and serve packages, carried across package boundaries by the
+// driver in both modes below) to recognise acquire and mmap constructors
+// they cannot see the bodies of. See DESIGN.md §17.
 //
 // It speaks two protocols:
 //
@@ -28,11 +38,15 @@ import (
 	"thriftylp/internal/lint/analysis"
 	"thriftylp/internal/lint/benignrace"
 	"thriftylp/internal/lint/cancelpoint"
+	"thriftylp/internal/lint/dirhygiene"
 	"thriftylp/internal/lint/driver"
 	"thriftylp/internal/lint/errfreeze"
+	"thriftylp/internal/lint/goroleak"
 	"thriftylp/internal/lint/hotpath"
 	"thriftylp/internal/lint/metricfreeze"
+	"thriftylp/internal/lint/mmapsafe"
 	"thriftylp/internal/lint/padded"
+	"thriftylp/internal/lint/reflease"
 )
 
 // suite is the full analyzer set, in the order diagnostics are attributed.
@@ -43,6 +57,10 @@ var suite = []*analysis.Analyzer{
 	errfreeze.Analyzer,
 	metricfreeze.Analyzer,
 	cancelpoint.Analyzer,
+	reflease.Analyzer,
+	mmapsafe.Analyzer,
+	goroleak.Analyzer,
+	dirhygiene.Analyzer,
 }
 
 func main() {
@@ -81,7 +99,10 @@ func run(args []string) int {
 		return driver.RunUnitchecker(rest[0], analyzers)
 	}
 
-	// Standalone mode over package patterns.
+	// Standalone mode over package patterns. Load returns the pattern
+	// packages plus their in-module dependencies in dependency order; one
+	// shared fact store carries analyzer facts from each package to its
+	// dependents, and dependency-only packages report no diagnostics.
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
@@ -90,12 +111,16 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	facts := driver.NewFactStore(analyzers)
 	exit := 0
 	for _, pkg := range pkgs {
-		diags, err := driver.Analyze(pkg, analyzers)
+		diags, err := driver.Analyze(pkg, analyzers, facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
+		}
+		if pkg.DepOnly {
+			continue
 		}
 		for _, d := range diags {
 			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)

@@ -165,7 +165,7 @@ func ServeRegression(cfg RunConfig) (ServeReport, error) {
 	if err != nil {
 		return ServeReport{}, err
 	}
-	go srv.Serve(ln)
+	go srv.Serve(ln) //thrifty:goroutine exits when the deferred Drain closes the listener
 	defer func() {
 		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -195,6 +195,7 @@ func ServeRegression(cfg RunConfig) (ServeReport, error) {
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
+		//thrifty:goroutine joined by wg.Wait below after a fixed request count
 		go func(c int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(c) + 1))

@@ -7,8 +7,10 @@
 // and semantics of the upstream API closely enough that the analyzers (and
 // their fixtures) could be moved onto x/tools unchanged if the dependency
 // ever becomes available. Only the features the thriftyvet suite needs are
-// implemented: syntax + type information, diagnostics, and type sizes.
-// Facts, SSA, and inter-analyzer results are intentionally absent.
+// implemented: syntax + type information, diagnostics, type sizes, and —
+// since thriftyvet v2 — cross-package facts (AFact/ObjectFact, serialized
+// through the unitchecker driver's vetx files). SSA and inter-analyzer
+// results are intentionally absent.
 package analysis
 
 import (
@@ -29,6 +31,12 @@ type Analyzer struct {
 	// pass.Report/Reportf and returns an optional result (unused here, kept
 	// for upstream signature compatibility).
 	Run func(*Pass) (any, error)
+	// FactTypes lists the fact types the analyzer produces and consumes,
+	// as zero-valued pointer instances (upstream convention). An analyzer
+	// with facts is run on dependency packages too, so its exports reach
+	// importers; the driver gob-registers these types for vetx
+	// serialization.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -50,11 +58,85 @@ type Pass struct {
 	TypesSizes types.Sizes
 	// Report delivers one diagnostic. The driver sets it.
 	Report func(Diagnostic)
+	// Facts is the driver's fact store view, or nil when the driver (or a
+	// test harness) runs without facts; the fact methods below degrade to
+	// no-ops then, so factless execution stays valid.
+	Facts Facter
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Fact is a serializable observation one analyzer makes about a package
+// or one of its objects, visible to the same analyzer when it later runs on
+// an importing package. Concrete fact types are pointers to structs with a
+// no-op AFact method (upstream convention); the driver serializes them with
+// encoding/gob, so exported fields only.
+type Fact interface {
+	AFact()
+}
+
+// An ObjectFact is one (object, fact) pair, as returned by AllObjectFacts.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// Facter is the driver-side fact store interface a Pass delegates to. The
+// analyzer identity scopes every operation: facts are namespaced per
+// analyzer, as upstream.
+type Facter interface {
+	ExportObjectFact(a *Analyzer, obj types.Object, fact Fact)
+	ImportObjectFact(a *Analyzer, obj types.Object, ptr Fact) bool
+	AllObjectFacts(a *Analyzer) []ObjectFact
+	ExportPackageFact(a *Analyzer, pkg *types.Package, fact Fact)
+	ImportPackageFact(a *Analyzer, pkg *types.Package, ptr Fact) bool
+}
+
+// ExportObjectFact associates fact with obj for importing packages'
+// passes. obj must belong to a package the driver loaded from source
+// (typically the pass's own package); facts on objects the driver cannot
+// name (locals, struct fields) are silently dropped, matching what the
+// vetx wire format can express.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts != nil {
+		p.Facts.ExportObjectFact(p.Analyzer, obj, fact)
+	}
+}
+
+// ImportObjectFact copies into ptr the fact (of ptr's concrete type) this
+// analyzer previously exported for obj, reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.ImportObjectFact(p.Analyzer, obj, ptr)
+}
+
+// AllObjectFacts returns every object fact visible to this pass's analyzer.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.AllObjectFacts(p.Analyzer)
+}
+
+// ExportPackageFact associates fact with the pass's own package.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.Facts != nil {
+		p.Facts.ExportPackageFact(p.Analyzer, p.Pkg, fact)
+	}
+}
+
+// ImportPackageFact copies into ptr the fact this analyzer exported for
+// pkg, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.ImportPackageFact(p.Analyzer, pkg, ptr)
 }
 
 // A Diagnostic is one finding, tied to a position in the package source.

@@ -70,7 +70,7 @@ func run(pass *analysis.Pass) (any, error) {
 	}
 
 	for _, k := range kernels {
-		if _, exempt := directive.FromDoc(k.Doc, "nocancel"); exempt {
+		if _, exempt := directive.FromDoc(k.Doc, directive.Nocancel); exempt {
 			continue
 		}
 		if !reaches(pass, decls, k, map[*ast.FuncDecl]bool{}) {

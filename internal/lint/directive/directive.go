@@ -4,6 +4,8 @@
 //	//thrifty:hotpath
 //	//thrifty:benign-race <reason>
 //	//thrifty:padded
+//	//thrifty:nocancel
+//	//thrifty:goroutine <reason>
 //
 // A directive is a single line comment whose text starts exactly with
 // "thrifty:" (no space after //, like //go: directives, so gofmt leaves it
@@ -22,11 +24,15 @@ import (
 // prefix is the comment marker introducing every thrifty directive.
 const prefix = "//thrifty:"
 
-// Hotpath, BenignRace and Padded name the recognized directives.
+// The recognized directive names. Nocancel exempts a kernel from the
+// cancelpoint check; Goroutine documents the lifecycle of a go statement
+// outside internal/parallel (goroleak).
 const (
 	Hotpath    = "hotpath"
 	BenignRace = "benign-race"
 	Padded     = "padded"
+	Nocancel   = "nocancel"
+	Goroutine  = "goroutine"
 )
 
 // parse splits one comment into (directive name, argument). ok is false for

@@ -1,0 +1,171 @@
+// Package dirhygiene defines a thriftyvet analyzer keeping the //thrifty:
+// directive inventory honest. Directives are load-bearing — hotpath gates
+// the allocation check, benign-race silences the race check, goroutine
+// licenses a go statement — so a stale one is worse than a missing one: it
+// silently suppresses a check at a site that no longer exists, or never
+// suppressed anything because it sits where no analyzer looks.
+//
+// dirhygiene reports:
+//
+//   - unknown directive names (typo'd //thrifty:hotpth suppresses nothing
+//     and reads like it does);
+//   - misplaced directives: hotpath and nocancel belong in a function's
+//     doc comment, padded in a type's;
+//   - reasonless benign-race / goroutine directives (the analyzers ignore
+//     them without an argument, so they cover nothing);
+//   - stale goroutine directives with no go statement on their line, the
+//     line below, or anywhere in the documented function;
+//   - stale benign-race directives outside any function.
+package dirhygiene
+
+import (
+	"go/ast"
+	"go/token"
+
+	"thriftylp/internal/lint/analysis"
+	"thriftylp/internal/lint/directive"
+	"thriftylp/internal/lint/lintutil"
+)
+
+// Analyzer is the dirhygiene analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "dirhygiene",
+	Doc: "check that //thrifty: directives are known, placed, and not stale\n\n" +
+		"Every directive must use a recognized name, sit where its analyzer\n" +
+		"looks for it, and still have the code it annotates; see DESIGN.md §17.",
+	Run: run,
+}
+
+// known maps each directive name to whether it requires a reason argument.
+var known = map[string]bool{
+	directive.Hotpath:    false,
+	directive.BenignRace: true,
+	directive.Padded:     false,
+	directive.Nocancel:   false,
+	directive.Goroutine:  true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if lintutil.InGOROOT(pass.Fset, f) || lintutil.IsTestFile(pass.Fset, f.Package) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil, nil
+}
+
+// placement records where one file's doc comments and bodies live.
+type placement struct {
+	funcDoc  map[token.Pos]*ast.FuncDecl // doc-comment position -> function
+	typeDoc  map[token.Pos]bool
+	bodies   [][2]int // [startLine, endLine] of function bodies
+	goLines  map[int]bool
+	goInFunc map[*ast.FuncDecl]bool
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	pl := &placement{
+		funcDoc:  map[token.Pos]*ast.FuncDecl{},
+		typeDoc:  map[token.Pos]bool{},
+		goLines:  map[int]bool{},
+		goInFunc: map[*ast.FuncDecl]bool{},
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Doc != nil {
+				for _, c := range d.Doc.List {
+					pl.funcDoc[c.Pos()] = d
+				}
+			}
+			if d.Body != nil {
+				start := pass.Fset.Position(d.Body.Lbrace).Line
+				end := pass.Fset.Position(d.Body.Rbrace).Line
+				pl.bodies = append(pl.bodies, [2]int{start, end})
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						pl.goLines[pass.Fset.Position(g.Pos()).Line] = true
+						pl.goInFunc[d] = true
+					}
+					return true
+				})
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			if d.Doc != nil {
+				for _, c := range d.Doc.List {
+					pl.typeDoc[c.Pos()] = true
+				}
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Doc == nil {
+					continue
+				}
+				for _, c := range ts.Doc.List {
+					pl.typeDoc[c.Pos()] = true
+				}
+			}
+		}
+	}
+
+	for _, l := range directive.FileLines(pass.Fset, f) {
+		requireArg, ok := known[l.Name]
+		if !ok {
+			pass.Reportf(l.Pos, "unknown directive //thrifty:%s (known: benign-race, goroutine, hotpath, nocancel, padded)", l.Name)
+			continue
+		}
+		if requireArg && l.Arg == "" {
+			pass.Reportf(l.Pos, "//thrifty:%s needs a reason: without one the %s check ignores it", l.Name, analyzerFor(l.Name))
+			continue
+		}
+
+		switch l.Name {
+		case directive.Hotpath, directive.Nocancel:
+			if pl.funcDoc[l.Pos] == nil {
+				pass.Reportf(l.Pos, "misplaced //thrifty:%s: it only works in a function's doc comment", l.Name)
+			}
+		case directive.Padded:
+			if !pl.typeDoc[l.Pos] {
+				pass.Reportf(l.Pos, "misplaced //thrifty:padded: it only works in a struct type's doc comment")
+			}
+		case directive.Goroutine:
+			if fd := pl.funcDoc[l.Pos]; fd != nil {
+				if !pl.goInFunc[fd] {
+					pass.Reportf(l.Pos, "stale //thrifty:goroutine: %s contains no go statement", fd.Name.Name)
+				}
+			} else if !pl.goLines[l.Line] && !pl.goLines[l.Line+1] {
+				pass.Reportf(l.Pos, "stale //thrifty:goroutine: no go statement on this line or the next")
+			}
+		case directive.BenignRace:
+			if pl.funcDoc[l.Pos] == nil && !pl.inBody(l.Line) {
+				pass.Reportf(l.Pos, "stale //thrifty:benign-race: not in a function's doc comment or body")
+			}
+		}
+	}
+}
+
+// inBody reports whether the line (or the one below, for directives just
+// above their statement) falls inside some function body.
+func (pl *placement) inBody(line int) bool {
+	for _, b := range pl.bodies {
+		if line >= b[0] && line <= b[1] {
+			return true
+		}
+		if line+1 >= b[0] && line+1 <= b[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzerFor names the analyzer that consumes a reason-bearing directive.
+func analyzerFor(name string) string {
+	if name == directive.BenignRace {
+		return "benignrace"
+	}
+	return "goroleak"
+}

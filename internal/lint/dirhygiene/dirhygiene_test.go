@@ -1,0 +1,12 @@
+package dirhygiene_test
+
+import (
+	"testing"
+
+	"thriftylp/internal/lint/dirhygiene"
+	"thriftylp/internal/lint/linttest"
+)
+
+func TestDirHygiene(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), dirhygiene.Analyzer, "dirty")
+}

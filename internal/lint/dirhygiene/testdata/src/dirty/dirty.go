@@ -1,0 +1,63 @@
+// Package dirty exercises dirhygiene: every directive below is either
+// fine where it is or flagged for being unknown, misplaced, reasonless,
+// or stale.
+package dirty
+
+// Padded on a struct type's doc: fine.
+//
+//thrifty:padded
+type Slot struct {
+	n   int64
+	pad [56]byte
+}
+
+/* want "misplaced //thrifty:padded: it only works in a struct type's doc comment" */ //thrifty:padded
+func notAType() {}
+
+// Hotpath in a function's doc: fine.
+//
+//thrifty:hotpath
+func kernel(dst, src []uint32) {
+	copy(dst, src)
+}
+
+/* want "unknown directive //thrifty:hotpth" */ //thrifty:hotpth
+func typo() {}
+
+func stray() {
+	/* want "misplaced //thrifty:hotpath: it only works in a function's doc comment" */ //thrifty:hotpath
+	_ = 1
+}
+
+//thrifty:goroutine serves until process exit
+func spawns(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+/* want "stale //thrifty:goroutine: spawnless contains no go statement" */ //thrifty:goroutine nothing spawns here
+func spawnless() {}
+
+func lineLevel(ch chan int) {
+	//thrifty:goroutine drains one value then exits
+	go func() { ch <- 1 }()
+
+	/* want "stale //thrifty:goroutine: no go statement on this line or the next" */ //thrifty:goroutine no spawn follows
+	_ = 2
+}
+
+func reasonless(ch chan int) {
+	/* want "//thrifty:goroutine needs a reason: without one the goroleak check ignores it" */ //thrifty:goroutine
+	go func() { ch <- 1 }()
+}
+
+var counter int64
+
+func racy() {
+	counter++ //thrifty:benign-race monotonic telemetry counter, torn reads acceptable
+}
+
+/* want "//thrifty:benign-race needs a reason: without one the benignrace check ignores it" */ //thrifty:benign-race
+var floating int64
+
+/* want "stale //thrifty:benign-race: not in a function's doc comment or body" */ //thrifty:benign-race this annotates nothing
+var alsoFloating int64

@@ -3,8 +3,9 @@
 // go/analysis/unitchecker, which the dependency-free go.mod cannot import:
 // packages are enumerated with `go list -deps -export -json`, type-checked
 // with go/types against the gc export data the go command already produced,
-// and analyzed in dependency-free isolation (the thriftyvet analyzers use no
-// cross-package facts).
+// and analyzed in dependency order with cross-package facts flowing through
+// a FactStore (facts.go) — in-memory for standalone runs, serialized into
+// the go command's vetx files in unitchecker mode.
 //
 // Two entry points cover the two ways thriftyvet runs:
 //
@@ -46,6 +47,9 @@ type Package struct {
 	Info  *types.Info
 	// Sizes is the gc size model for the target GOARCH.
 	Sizes types.Sizes
+	// DepOnly marks a package loaded only so its facts reach dependents;
+	// callers discard its diagnostics.
+	DepOnly bool
 }
 
 // A Diagnostic is one analyzer finding with a resolved source position.
@@ -209,7 +213,10 @@ func Check(fset *token.FileSet, path string, imp types.Importer, files []*ast.Fi
 }
 
 // Load enumerates, parses, and type-checks the non-test packages matched by
-// patterns (e.g. "./...").
+// patterns (e.g. "./..."). Non-standard dependency packages outside the
+// pattern set are loaded too (marked DepOnly) so fact-producing analyzers
+// can run over them first; the returned slice is in dependency order, which
+// `go list -deps`'s post-order traversal guarantees.
 func Load(patterns []string) ([]*Package, error) {
 	listed, err := goList([]string{"-deps", "-export"}, patterns)
 	if err != nil {
@@ -224,7 +231,7 @@ func Load(patterns []string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
+		if !p.Standard && (!p.DepOnly || p.Error == nil) {
 			targets = append(targets, p)
 		}
 	}
@@ -244,23 +251,30 @@ func Load(patterns []string) ([]*Package, error) {
 			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
 		}
 		pkgs = append(pkgs, &Package{
-			Path:  t.ImportPath,
-			Fset:  fset,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
-			Sizes: Sizes(),
+			Path:    t.ImportPath,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			Sizes:   Sizes(),
+			DepOnly: t.DepOnly,
 		})
 	}
 	return pkgs, nil
 }
 
 // Analyze applies the analyzers to one package and returns the findings in
-// source order.
-func Analyze(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+// source order. facts may be nil (factless run); when non-nil it must be
+// shared across a dependency-ordered package sequence so exports precede
+// imports.
+func Analyze(pkg *Package, analyzers []*analysis.Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		a := a
+		// Dependency-only packages run just the fact producers.
+		if pkg.DepOnly && len(a.FactTypes) == 0 {
+			continue
+		}
 		pass := &analysis.Pass{
 			Analyzer:   a,
 			Fset:       pkg.Fset,
@@ -275,6 +289,9 @@ func Analyze(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error)
 					Message:  d.Message,
 				})
 			},
+		}
+		if facts != nil {
+			pass.Facts = facts
 		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.Path, a.Name, err)

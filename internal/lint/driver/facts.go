@@ -1,0 +1,274 @@
+package driver
+
+// This file is the facts half of the driver: an in-memory store keyed by
+// (analyzer, package path, object path) strings plus a gob wire format for
+// the vetx files the go vet protocol threads between packages. String keys
+// — not types.Object identity — are load-bearing: the same object is a
+// source-checked *types.Func in the pass that exports a fact and an
+// export-data-loaded one in the pass that imports it, and only the
+// (package path, object path) pair survives that round trip.
+//
+// Object paths are a deliberately small subset of x/tools' objectpath:
+// "Name" for package-scope objects and "Type.Method" for methods — the
+// only shapes the thriftyvet analyzers attach facts to. gc export data
+// carries unexported methods of exported types, so method facts resolve on
+// the importing side; facts on locals or fields are silently dropped at
+// export time.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"sync"
+
+	"thriftylp/internal/lint/analysis"
+)
+
+// factKey names one fact: obj is "" for package-level facts.
+type factKey struct {
+	analyzer string
+	pkg      string
+	obj      string
+}
+
+// A FactStore accumulates facts across the passes of one driver run (or
+// decodes them from dependency vetx files) and implements analysis.Facter.
+type FactStore struct {
+	mu    sync.Mutex
+	facts map[factKey]analysis.Fact
+	// objs remembers the live types.Object of facts exported in this
+	// process, for linttest's wantfact assertions; decoded facts have none.
+	objs map[factKey]types.Object
+}
+
+// NewFactStore returns an empty store and gob-registers the fact types of
+// the given analyzers so interface values round-trip through vetx files.
+func NewFactStore(analyzers []*analysis.Analyzer) *FactStore {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+	return &FactStore{
+		facts: map[factKey]analysis.Fact{},
+		objs:  map[factKey]types.Object{},
+	}
+}
+
+// HasFacts reports whether any of the analyzers declares fact types — the
+// driver skips the whole facts pipeline otherwise.
+func HasFacts(analyzers []*analysis.Analyzer) bool {
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// objPath names obj within its package: "Name" for package-scope objects,
+// "Type.Method" for methods. ok is false for objects vetx cannot express.
+func objPath(obj types.Object) (string, bool) {
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		if !ok {
+			return "", false
+		}
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + o.Name(), true
+		}
+		return o.Name(), true
+	case *types.TypeName:
+		return o.Name(), true
+	case *types.Var:
+		if o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+			return o.Name(), true
+		}
+		return "", false
+	case *types.Const:
+		if o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+			return o.Name(), true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+func (s *FactStore) key(a *analysis.Analyzer, obj types.Object) (factKey, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return factKey{}, false
+	}
+	p, ok := objPath(obj)
+	if !ok {
+		return factKey{}, false
+	}
+	return factKey{analyzer: a.Name, pkg: obj.Pkg().Path(), obj: p}, true
+}
+
+// ExportObjectFact implements analysis.Facter.
+func (s *FactStore) ExportObjectFact(a *analysis.Analyzer, obj types.Object, fact analysis.Fact) {
+	k, ok := s.key(a, obj)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.facts[k] = fact
+	s.objs[k] = obj
+}
+
+// ImportObjectFact implements analysis.Facter: on a hit it copies the
+// stored fact into *ptr (whose concrete type must match) and returns true.
+func (s *FactStore) ImportObjectFact(a *analysis.Analyzer, obj types.Object, ptr analysis.Fact) bool {
+	k, ok := s.key(a, obj)
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyFact(s.facts[k], ptr)
+}
+
+// AllObjectFacts implements analysis.Facter. Facts decoded from vetx files
+// carry no live types.Object and are omitted; analyzers resolve those
+// through ImportObjectFact on the objects they already hold.
+func (s *FactStore) AllObjectFacts(a *analysis.Analyzer) []analysis.ObjectFact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []analysis.ObjectFact
+	for k, f := range s.facts {
+		if k.analyzer != a.Name || k.obj == "" {
+			continue
+		}
+		if obj := s.objs[k]; obj != nil {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.Pos() < out[j].Object.Pos() })
+	return out
+}
+
+// ExportPackageFact implements analysis.Facter.
+func (s *FactStore) ExportPackageFact(a *analysis.Analyzer, pkg *types.Package, fact analysis.Fact) {
+	if pkg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.facts[factKey{analyzer: a.Name, pkg: pkg.Path()}] = fact
+}
+
+// ImportPackageFact implements analysis.Facter.
+func (s *FactStore) ImportPackageFact(a *analysis.Analyzer, pkg *types.Package, ptr analysis.Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyFact(s.facts[factKey{analyzer: a.Name, pkg: pkg.Path()}], ptr)
+}
+
+// copyFact copies src into the pointer-typed dst when their concrete types
+// match (both are pointers to structs by the Fact convention), reporting
+// whether a copy happened.
+func copyFact(src, dst analysis.Fact) bool {
+	if src == nil || dst == nil {
+		return false
+	}
+	sv := reflect.ValueOf(src)
+	dv := reflect.ValueOf(dst)
+	if sv.Type() != dv.Type() || sv.Kind() != reflect.Pointer || sv.IsNil() || dv.IsNil() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// ExportedFact pairs a fact with the live object it was exported on, for
+// test harnesses.
+type ExportedFact struct {
+	Analyzer string
+	Object   types.Object
+	Fact     analysis.Fact
+}
+
+// Exported returns every object fact exported in-process (not decoded),
+// ordered by object position — linttest's wantfact source of truth.
+func (s *FactStore) Exported() []ExportedFact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ExportedFact
+	for k, f := range s.facts {
+		if obj := s.objs[k]; obj != nil {
+			out = append(out, ExportedFact{Analyzer: k.analyzer, Object: obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.Pos() < out[j].Object.Pos() })
+	return out
+}
+
+// factRecord is the vetx wire form of one fact.
+type factRecord struct {
+	Analyzer string
+	PkgPath  string
+	ObjPath  string // "" for package facts
+	Fact     analysis.Fact
+}
+
+// Encode serializes every fact in the store. The driver writes this to the
+// package's VetxOutput; re-encoding imported dependency facts alongside the
+// package's own makes fact flow transitive, since go vet hands each
+// package only its direct PackageVetx files.
+func (s *FactStore) Encode() ([]byte, error) {
+	s.mu.Lock()
+	recs := make([]factRecord, 0, len(s.facts))
+	for k, f := range s.facts {
+		recs = append(recs, factRecord{Analyzer: k.analyzer, PkgPath: k.pkg, ObjPath: k.obj, Fact: f})
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		return a.ObjPath < b.ObjPath
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("encoding facts: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges the facts of one vetx file into the store. Empty input is
+// a valid empty fact set (the factless-era files, and the stdlib's).
+func (s *FactStore) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var recs []factRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return fmt.Errorf("decoding facts: %v", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		s.facts[factKey{analyzer: r.Analyzer, pkg: r.PkgPath, obj: r.ObjPath}] = r.Fact
+	}
+	return nil
+}

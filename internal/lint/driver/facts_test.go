@@ -1,0 +1,154 @@
+package driver
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"thriftylp/internal/lint/analysis"
+)
+
+// testFact is a representative pointer-to-struct fact.
+type testFact struct {
+	Tag string
+}
+
+func (*testFact) AFact()           {}
+func (f *testFact) String() string { return "tag=" + f.Tag }
+
+var factAnalyzer = &analysis.Analyzer{
+	Name:      "factprobe",
+	Doc:       "test analyzer",
+	Run:       func(*analysis.Pass) (any, error) { return nil, nil },
+	FactTypes: []analysis.Fact{new(testFact)},
+}
+
+// checkSrc type-checks one in-memory package and returns it with its fset.
+func checkSrc(t *testing.T, path, src string) (*types.Package, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, fset
+}
+
+const factSrc = `package p
+
+type Res struct{}
+
+func (r *Res) Release() {}
+
+func Acquire() *Res { return nil }
+`
+
+func TestFactRoundTrip(t *testing.T) {
+	pkg, _ := checkSrc(t, "example.com/p", factSrc)
+	acquire := pkg.Scope().Lookup("Acquire")
+	release, _, _ := types.LookupFieldOrMethod(pkg.Scope().Lookup("Res").Type(), true, pkg, "Release")
+	if acquire == nil || release == nil {
+		t.Fatal("objects not found")
+	}
+
+	src := NewFactStore([]*analysis.Analyzer{factAnalyzer})
+	src.ExportObjectFact(factAnalyzer, acquire, &testFact{Tag: "fn"})
+	src.ExportObjectFact(factAnalyzer, release, &testFact{Tag: "method"})
+	src.ExportPackageFact(factAnalyzer, pkg, &testFact{Tag: "pkg"})
+
+	data, err := src.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode into a fresh store and resolve against a fresh type-check of
+	// the same package: distinct types.Object identities, same paths —
+	// exactly the source-vs-export-data situation the string keys exist
+	// for.
+	dst := NewFactStore([]*analysis.Analyzer{factAnalyzer})
+	if err := dst.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	pkg2, _ := checkSrc(t, "example.com/p", factSrc)
+	acquire2 := pkg2.Scope().Lookup("Acquire")
+	release2, _, _ := types.LookupFieldOrMethod(pkg2.Scope().Lookup("Res").Type(), true, pkg2, "Release")
+
+	var got testFact
+	if !dst.ImportObjectFact(factAnalyzer, acquire2, &got) || got.Tag != "fn" {
+		t.Errorf("Acquire fact: got %+v, want Tag=fn", got)
+	}
+	if !dst.ImportObjectFact(factAnalyzer, release2, &got) || got.Tag != "method" {
+		t.Errorf("Release method fact: got %+v, want Tag=method", got)
+	}
+	if !dst.ImportPackageFact(factAnalyzer, pkg2, &got) || got.Tag != "pkg" {
+		t.Errorf("package fact: got %+v, want Tag=pkg", got)
+	}
+
+	// A different analyzer's view is empty: facts are namespaced.
+	other := &analysis.Analyzer{Name: "other", FactTypes: []analysis.Fact{new(testFact)}}
+	if dst.ImportObjectFact(other, acquire2, &got) {
+		t.Error("fact leaked across analyzer namespace")
+	}
+}
+
+func TestFactStoreEmptyDecode(t *testing.T) {
+	s := NewFactStore([]*analysis.Analyzer{factAnalyzer})
+	if err := s.Decode(nil); err != nil {
+		t.Fatalf("empty fact file must decode cleanly: %v", err)
+	}
+	if err := s.Decode([]byte{}); err != nil {
+		t.Fatalf("empty fact file must decode cleanly: %v", err)
+	}
+}
+
+func TestFactTransitiveReencode(t *testing.T) {
+	pkg, _ := checkSrc(t, "example.com/p", factSrc)
+	acquire := pkg.Scope().Lookup("Acquire")
+
+	a := NewFactStore([]*analysis.Analyzer{factAnalyzer})
+	a.ExportObjectFact(factAnalyzer, acquire, &testFact{Tag: "deep"})
+	data1, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Middle package: decodes the dep's facts, exports nothing of its own,
+	// re-encodes — the dep's facts must survive for the next hop.
+	b := NewFactStore([]*analysis.Analyzer{factAnalyzer})
+	if err := b.Decode(data1); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewFactStore([]*analysis.Analyzer{factAnalyzer})
+	if err := c.Decode(data2); err != nil {
+		t.Fatal(err)
+	}
+	var got testFact
+	if !c.ImportObjectFact(factAnalyzer, acquire, &got) || got.Tag != "deep" {
+		t.Errorf("fact lost across re-encode hop: got %+v", got)
+	}
+}
+
+func TestObjPathShapes(t *testing.T) {
+	pkg, _ := checkSrc(t, "example.com/p", factSrc)
+	res := pkg.Scope().Lookup("Res")
+	if p, ok := objPath(res); !ok || p != "Res" {
+		t.Errorf("type path = %q, %v", p, ok)
+	}
+	release, _, _ := types.LookupFieldOrMethod(res.Type(), true, pkg, "Release")
+	if p, ok := objPath(release); !ok || p != "Res.Release" {
+		t.Errorf("method path = %q, %v", p, ok)
+	}
+}

@@ -24,15 +24,20 @@ import (
 //     executable achieves that).
 //  3. `tool <file>.cfg` — analyze one package. The cfg names the package's
 //     sources and maps every import to the gc export data file the build
-//     already produced. The tool must write cfg.VetxOutput (the facts file;
-//     empty here, no thriftyvet analyzer uses facts) and exit 2 if it found
-//     diagnostics, 0 otherwise.
+//     already produced. The tool must write cfg.VetxOutput (the facts file)
+//     and exit 2 if it found diagnostics, 0 otherwise.
 //
 // The go command invokes step 3 for every dependency too, with VetxOnly set
-// — those calls exist only to propagate facts, so a factless tool writes the
-// empty output and returns without parsing anything. That keeps
+// — those calls exist only to propagate facts. Facts can only originate in
+// this module's own source (nothing outside the module imports it), so a
+// standard-library VetxOnly call writes an empty facts file and returns
+// without parsing anything; module packages run the fact-producing
+// analyzers with diagnostics suppressed. That keeps
 // `go vet -vettool=thriftyvet ./...` at roughly the cost of vetting the
-// module's own packages.
+// module's own packages. The vetx wire format is the driver's own
+// (facts.go): a gob record list re-exporting dependency facts alongside the
+// package's new ones, so flow is transitive even though go vet hands each
+// package only its direct imports' files.
 
 // vetConfig mirrors the JSON the go command writes to vet.cfg.
 type vetConfig struct {
@@ -97,33 +102,72 @@ func RunUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	// Facts stub: thriftyvet analyzers are factless, so the facts file the
-	// go command expects to cache is always empty — and VetxOnly
-	// (dependency) invocations need nothing else.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	// Standard-library packages cannot carry this module's facts (nothing
+	// outside the module imports it), so their VetxOnly calls — the bulk of
+	// what go vet dispatches — write the empty facts file and return
+	// without parsing anything. The same fast path serves fully factless
+	// analyzer sets.
+	if cfg.VetxOnly && (!HasFacts(analyzers) || cfg.Standard[cfg.ImportPath]) {
+		if err := writeVetx(cfg, []byte{}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
 	}
-	diags, err := analyzeVetConfig(cfg, analyzers)
+
+	facts := NewFactStore(analyzers)
+	if HasFacts(analyzers) {
+		for path, file := range cfg.PackageVetx {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: reading facts of %s: %v\n", cfg.ImportPath, path, err)
+				return 1
+			}
+			if err := facts.Decode(data); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: facts of %s: %v\n", cfg.ImportPath, path, err)
+				return 1
+			}
+		}
+	}
+
+	diags, err := analyzeVetConfig(cfg, analyzers, facts)
 	if err != nil {
+		// Even on failure the go command expects the facts file; hand it
+		// the dependency pass-through so downstream decoding still works.
+		data, encErr := facts.Encode()
+		if encErr == nil {
+			_ = writeVetx(cfg, data)
+		}
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	if len(diags) == 0 {
+	data, err := facts.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if err := writeVetx(cfg, data); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", relativePos(d.Pos, cfg.Dir), d.Message)
 	}
 	return 2
+}
+
+// writeVetx stores the serialized facts where the cfg asks.
+func writeVetx(cfg *vetConfig, data []byte) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
 }
 
 func readVetConfig(path string) (*vetConfig, error) {
@@ -138,7 +182,7 @@ func readVetConfig(path string) (*vetConfig, error) {
 	return cfg, nil
 }
 
-func analyzeVetConfig(cfg *vetConfig, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+func analyzeVetConfig(cfg *vetConfig, analyzers []*analysis.Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
 	files, err := ParseFiles(fset, cfg.Dir, cfg.GoFiles)
 	if err != nil {
@@ -159,14 +203,15 @@ func analyzeVetConfig(cfg *vetConfig, analyzers []*analysis.Analyzer) ([]Diagnos
 		return nil, err
 	}
 	pkg := &Package{
-		Path:  cfg.ImportPath,
-		Fset:  fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
-		Sizes: Sizes(),
+		Path:    cfg.ImportPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Sizes:   Sizes(),
+		DepOnly: cfg.VetxOnly,
 	}
-	return Analyze(pkg, analyzers)
+	return Analyze(pkg, analyzers, facts)
 }
 
 // relativePos renders a token.Position with the filename relative to dir

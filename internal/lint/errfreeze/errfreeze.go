@@ -1,16 +1,19 @@
-// Package errfreeze implements the thriftyvet analyzer that freezes the
-// graph package's error strings.
+// Package errfreeze implements the thriftyvet analyzer that freezes error
+// strings across the module's contract-bearing packages.
 //
 // The graph loaders are the module's untrusted-input boundary; their error
 // text is matched by the hardening tests, by CLI snapshot tests, and —
 // since errors are how operators debug bad datasets — by humans' runbooks.
 // PR 4 parallelized the ingestion pipeline under the explicit constraint
 // that seed error strings be preserved; this analyzer turns that one-off
-// review promise into a standing check: every fmt.Errorf / errors.New
-// format string in package graph must appear in the Frozen list
-// (frozen.go), and TestFrozenRoundTrip keeps the list free of stale
-// entries. Roadmap-wise this is the "error text is API" discipline of a
-// production service, enforced at vet time.
+// review promise into a standing check. The serve, shard and dist
+// packages joined the freeze when their errors became operator-facing:
+// thriftyd relays serve errors over HTTP, and corrupt-shard-set messages
+// are what a 2am page shows. Every fmt.Errorf / errors.New format string
+// in a frozen package must appear in its list (frozen.go), and
+// TestFrozenRoundTrip keeps the lists free of stale entries. Roadmap-wise
+// this is the "error text is API" discipline of a production service,
+// enforced at vet time.
 package errfreeze
 
 import (
@@ -22,18 +25,22 @@ import (
 	"thriftylp/internal/lint/lintutil"
 )
 
-// graphPath is the package whose error strings are frozen.
-const graphPath = "thriftylp/graph"
-
 // Analyzer is the errfreeze analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "errfreeze",
-	Doc:  "require graph package error strings to match the checked-in frozen list",
+	Doc:  "require frozen packages' error strings to match the checked-in lists",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if !lintutil.PkgPathMatches(pass.Pkg.Path(), graphPath) {
+	var frozen map[string]bool
+	for path, set := range Packages {
+		if lintutil.PkgPathMatches(pass.Pkg.Path(), path) {
+			frozen = set
+			break
+		}
+	}
+	if frozen == nil {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -41,8 +48,8 @@ func run(pass *analysis.Pass) (any, error) {
 			continue
 		}
 		for _, site := range ErrorStrings(f) {
-			if !Frozen[site.Text] {
-				pass.Reportf(site.Pos, "graph error string %q is not in the frozen list: error text is API — if the change is deliberate, update internal/lint/errfreeze/frozen.go in the same commit", site.Text)
+			if !frozen[site.Text] {
+				pass.Reportf(site.Pos, "error string %q is not in the frozen list for %s: error text is API — if the change is deliberate, update internal/lint/errfreeze/frozen.go in the same commit", site.Text, pass.Pkg.Name())
 			}
 		}
 	}
@@ -58,8 +65,8 @@ type ErrorSite struct {
 // ErrorStrings returns the literal format strings of every fmt.Errorf and
 // errors.New call in the file, matched syntactically (by selector shape, not
 // type information) so the round-trip test can run it over bare parse trees.
-// The two matching styles agree for package graph, which never shadows the
-// fmt or errors identifiers.
+// The two matching styles agree for the frozen packages, which never shadow
+// the fmt or errors identifiers.
 func ErrorStrings(f *ast.File) []ErrorSite {
 	var out []ErrorSite
 	ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,13 @@
+// Fixture for errfreeze over the dist package: the package name matches
+// the frozen path thriftylp/internal/dist, so FrozenDist applies.
+package dist
+
+import "fmt"
+
+func frozenOK(n int) error {
+	return fmt.Errorf("dist: negative shard count %d", n)
+}
+
+func drifted(n int) error {
+	return fmt.Errorf("dist: rounds exploded at %d", n) // want `is not in the frozen list`
+}

@@ -1,0 +1,18 @@
+// Fixture for errfreeze over the serve package: the package name matches
+// the frozen path thriftylp/internal/serve, so FrozenServe applies.
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errReload = errors.New("serve: reload already in progress")
+
+func frozenOK(path string, err error) error {
+	return fmt.Errorf("serve: ingest %s: %w", path, err)
+}
+
+func drifted(path string) error {
+	return fmt.Errorf("serve: mystery failure on %s", path) // want `is not in the frozen list`
+}

@@ -1,0 +1,20 @@
+// Fixture for errfreeze over the shard package: the package name matches
+// the frozen path thriftylp/internal/shard, so FrozenShard applies.
+package shard
+
+import (
+	"errors"
+	"fmt"
+)
+
+func frozenOK(err error) error {
+	return fmt.Errorf("shard: parsing manifest: %w", err)
+}
+
+func frozenCodecOK() error {
+	return errors.New("shard: corrupt exchange batch header")
+}
+
+func drifted(n int) error {
+	return fmt.Errorf("shard: unexpected shard arithmetic %d", n) // want `is not in the frozen list`
+}

@@ -1,0 +1,73 @@
+// Package goroleak defines a thriftyvet analyzer keeping goroutine
+// creation auditable: internal/parallel owns structured concurrency (its
+// workers join deterministically), so every `go` statement anywhere else
+// is an unmanaged lifetime that must justify itself with a
+//
+//	//thrifty:goroutine <reason>
+//
+// directive — on the statement's line, the line directly above, or the
+// enclosing function's doc comment. The reason documents who stops the
+// goroutine and when (a context, a channel close, process exit), which is
+// exactly the information a leak hunt needs and exactly what silently
+// spawned goroutines lack.
+package goroleak
+
+import (
+	"go/ast"
+	"strings"
+
+	"thriftylp/internal/lint/analysis"
+	"thriftylp/internal/lint/directive"
+	"thriftylp/internal/lint/lintutil"
+)
+
+// Analyzer is the goroleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "check that go statements outside internal/parallel document their lifecycle\n\n" +
+		"Every `go` statement outside the structured-concurrency runtime must\n" +
+		"carry //thrifty:goroutine <reason> naming its shutdown path; see\n" +
+		"DESIGN.md §17.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if exemptPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if lintutil.InGOROOT(pass.Fset, f) || lintutil.IsTestFile(pass.Fset, f.Package) {
+			continue
+		}
+		lines := directive.FileLines(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			_, docCovered := directive.FromDoc(fd.Doc, directive.Goroutine)
+			if docCovered {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				line := pass.Fset.Position(g.Pos()).Line
+				if !directive.Covers(lines, directive.Goroutine, line, true) {
+					pass.Reportf(g.Pos(), "go statement outside internal/parallel needs //thrifty:goroutine <reason> naming its shutdown path")
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// exemptPkg reports whether the package is the structured-concurrency
+// runtime itself, where goroutine lifetimes are the package's whole job.
+func exemptPkg(path string) bool {
+	path = strings.TrimSuffix(path, " [pkg.test]")
+	return path == "parallel" || strings.HasSuffix(path, "/parallel")
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"thriftylp/internal/lint/goroleak"
+	"thriftylp/internal/lint/linttest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), goroleak.Analyzer, "spawn", "parallel")
+}

@@ -1,0 +1,39 @@
+// Package spawn exercises goroleak's directive coverage forms.
+package spawn
+
+func bare(ch chan int) {
+	go func() { ch <- 1 }() // want "go statement outside internal/parallel needs //thrifty:goroutine <reason> naming its shutdown path"
+}
+
+func lineAbove(ch chan int) {
+	//thrifty:goroutine drains one value then exits
+	go func() { ch <- 1 }()
+}
+
+func sameLine(ch chan int) {
+	go func() { ch <- 1 }() //thrifty:goroutine drains one value then exits
+}
+
+//thrifty:goroutine all spawns in this helper exit with the process
+func docCovered(ch chan int) {
+	go func() { ch <- 1 }()
+	go func() { ch <- 2 }()
+}
+
+func emptyReason(ch chan int) {
+	//thrifty:goroutine
+	go func() { ch <- 1 }() // want "go statement outside internal/parallel needs //thrifty:goroutine <reason> naming its shutdown path"
+}
+
+func wrongDirective(ch chan int) {
+	//thrifty:benign-race not the right directive
+	go func() { ch <- 1 }() // want "go statement outside internal/parallel needs //thrifty:goroutine <reason> naming its shutdown path"
+}
+
+func nested(ch chan int, ok bool) {
+	if ok {
+		defer func() {
+			go func() { ch <- 1 }() // want "go statement outside internal/parallel needs //thrifty:goroutine <reason> naming its shutdown path"
+		}()
+	}
+}

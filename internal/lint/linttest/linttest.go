@@ -4,7 +4,9 @@
 // Each analyzer keeps golden fixtures under testdata/src/<pkg>/: ordinary Go
 // source annotated with `// want "regexp"` comments marking the diagnostics
 // the analyzer must produce on that line (several per line are allowed;
-// regexps may be double- or back-quoted). Run loads a fixture package with
+// regexps may be double- or back-quoted). When the diagnostic line is
+// itself a line comment — a flagged //thrifty: directive — the expectation
+// uses the block form `/* want "regexp" */` ahead of it on the same line. Run loads a fixture package with
 // the real type checker, applies the analyzer, and fails the test on any
 // missing, unexpected, or mismatched diagnostic — so every fixture is
 // simultaneously a failing case (the want lines) and a passing case (every
@@ -13,9 +15,19 @@
 // Fixture imports resolve against sibling fixture directories first (so a
 // fixture can import a stub `parallel` runtime), then fall back to the real
 // toolchain's export data for the standard library.
+//
+// Multi-package fixtures: the analyzer runs over the whole fixture-import
+// closure of the named packages, in dependency order, sharing one fact
+// store — so a fixture importing a sibling sees the facts the analyzer
+// exported there, exactly as the driver arranges for real packages. Facts
+// are asserted with `// wantfact "regexp"` comments on the line declaring
+// the object: each exported object fact in a named package must match a
+// wantfact regexp against "ObjectName: fact-string" on its declaration
+// line, and vice versa.
 package linttest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -32,9 +44,10 @@ import (
 	"thriftylp/internal/lint/driver"
 )
 
-// Run loads each named fixture package from <testdata>/src/<pkg>, applies
-// the analyzer, and compares its diagnostics against the fixtures' want
-// comments.
+// Run loads each named fixture package from <testdata>/src/<pkg> along with
+// its fixture-import closure, applies the analyzer over the closure in
+// dependency order with a shared fact store, and compares diagnostics and
+// exported facts against the named packages' want/wantfact comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	ld := &loader{
@@ -44,11 +57,38 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	}
 	ld.std = driver.NewImporter(ld.fset, nil)
 	for _, path := range pkgs {
-		fp, err := ld.load(path)
-		if err != nil {
+		if _, err := ld.load(path); err != nil {
 			t.Fatalf("loading fixture package %s: %v", path, err)
 		}
-		check(t, ld.fset, a, fp)
+	}
+
+	// Analyze the whole closure in dependency order (the loader appends a
+	// package only after its fixture imports finished loading) so facts
+	// flow to importers the way the real driver arranges.
+	facts := driver.NewFactStore([]*analysis.Analyzer{a})
+	diags := map[string][]analysis.Diagnostic{}
+	for _, fp := range ld.order {
+		fp := fp
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       ld.fset,
+			Files:      fp.files,
+			Pkg:        fp.pkg,
+			TypesInfo:  fp.info,
+			TypesSizes: driver.Sizes(),
+			Report: func(d analysis.Diagnostic) {
+				diags[fp.path] = append(diags[fp.path], d)
+			},
+			Facts: facts,
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer error on fixture %s: %v", a.Name, fp.path, err)
+		}
+	}
+
+	for _, path := range pkgs {
+		check(t, ld.fset, a, ld.pkgs[path], diags[path])
+		checkFacts(t, ld.fset, a, ld.pkgs[path], facts)
 	}
 }
 
@@ -70,12 +110,15 @@ type fixturePkg struct {
 }
 
 // loader parses and type-checks fixture packages, memoizing results so a
-// fixture imported by another fixture is checked once.
+// fixture imported by another fixture is checked once. order records
+// completion order, which is topological: a package is appended only after
+// the type checker finished importing (and hence loading) its fixture deps.
 type loader struct {
-	fset *token.FileSet
-	root string
-	std  types.Importer
-	pkgs map[string]*fixturePkg
+	fset  *token.FileSet
+	root  string
+	std   types.Importer
+	pkgs  map[string]*fixturePkg
+	order []*fixturePkg
 }
 
 func (l *loader) load(path string) (*fixturePkg, error) {
@@ -104,6 +147,7 @@ func (l *loader) load(path string) (*fixturePkg, error) {
 	}
 	fp := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
 	l.pkgs[path] = fp
+	l.order = append(l.order, fp)
 	return fp, nil
 }
 
@@ -120,24 +164,10 @@ func (l *loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
-// check runs the analyzer over one fixture package and reconciles its
-// diagnostics with the want comments.
-func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixturePkg) {
+// check reconciles one fixture package's diagnostics with its want
+// comments.
+func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixturePkg, diags []analysis.Diagnostic) {
 	t.Helper()
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:   a,
-		Fset:       fset,
-		Files:      fp.files,
-		Pkg:        fp.pkg,
-		TypesInfo:  fp.info,
-		TypesSizes: driver.Sizes(),
-		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s: analyzer error on fixture %s: %v", a.Name, fp.path, err)
-	}
-
 	type key struct {
 		file string
 		line int
@@ -146,7 +176,7 @@ func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixtureP
 	for _, f := range fp.files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				patterns, ok := parseWant(t, fset, c)
+				patterns, ok := parseWant(t, fset, c, "want")
 				if !ok {
 					continue
 				}
@@ -179,26 +209,86 @@ func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixtureP
 	}
 }
 
+// checkFacts reconciles the object facts the analyzer exported on one
+// fixture package against its wantfact comments. A fact's golden form is
+// "ObjectName: fact-string" (fact types typically implement Stringer), and
+// its anchor line is the object's declaration position.
+func checkFacts(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixturePkg, facts *driver.FactStore) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(t, fset, c, "wantfact")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				wants[k] = append(wants[k], patterns...)
+			}
+		}
+	}
+
+	for _, ef := range facts.Exported() {
+		if ef.Analyzer != a.Name || ef.Object.Pkg() != fp.pkg {
+			continue
+		}
+		pos := fset.Position(ef.Object.Pos())
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		text := fmt.Sprintf("%s: %s", ef.Object.Name(), fmt.Sprint(ef.Fact))
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(text) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: %s:%d: unexpected fact: %s", a.Name, k.file, k.line, text)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: %s:%d: expected fact matching %q, got none", a.Name, k.file, k.line, re)
+		}
+	}
+}
+
 // wantRE extracts the quoted regexps of a want comment: double-quoted
 // (Go-unquoted) or back-quoted (verbatim).
 var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 
-// parseWant reports whether the comment is a `// want ...` expectation and
-// returns its compiled patterns.
-func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) ([]*regexp.Regexp, bool) {
+// parseWant reports whether the comment is a `// <verb> ...` expectation
+// (verb is "want" or "wantfact") and returns its compiled patterns.
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment, verb string) ([]*regexp.Regexp, bool) {
 	t.Helper()
-	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-	if !strings.HasPrefix(text, "want ") {
+	text := c.Text
+	if strings.HasPrefix(text, "/*") {
+		// Block form, for diagnostics on comment-only lines (a directive
+		// fixture can't put two line comments on one line):
+		//   /* want "..." */ //thrifty:hotpath
+		text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+	} else {
+		text = strings.TrimPrefix(text, "//")
+	}
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, verb+" ") {
 		return nil, false
 	}
-	rest := strings.TrimPrefix(text, "want ")
+	rest := strings.TrimPrefix(text, verb+" ")
 	var out []*regexp.Regexp
 	for _, q := range wantRE.FindAllString(rest, -1) {
 		s := q
 		if s[0] == '"' {
 			u, err := strconv.Unquote(s)
 			if err != nil {
-				t.Fatalf("%s: bad want string %s: %v", fset.Position(c.Pos()), q, err)
+				t.Fatalf("%s: bad %s string %s: %v", fset.Position(c.Pos()), verb, q, err)
 			}
 			s = u
 		} else {
@@ -206,12 +296,12 @@ func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) ([]*regexp.Reg
 		}
 		re, err := regexp.Compile(s)
 		if err != nil {
-			t.Fatalf("%s: bad want regexp %s: %v", fset.Position(c.Pos()), q, err)
+			t.Fatalf("%s: bad %s regexp %s: %v", fset.Position(c.Pos()), verb, q, err)
 		}
 		out = append(out, re)
 	}
 	if len(out) == 0 {
-		t.Fatalf("%s: want comment with no quoted regexps", fset.Position(c.Pos()))
+		t.Fatalf("%s: %s comment with no quoted regexps", fset.Position(c.Pos()), verb)
 	}
 	return out, true
 }

@@ -1,0 +1,12 @@
+package mmapsafe_test
+
+import (
+	"testing"
+
+	"thriftylp/internal/lint/linttest"
+	"thriftylp/internal/lint/mmapsafe"
+)
+
+func TestMmapSafe(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), mmapsafe.Analyzer, "mmapgraph", "usemap")
+}

@@ -1,0 +1,60 @@
+// Package mmapgraph mimics the graph package's zero-copy shape for the
+// mmapsafe fixtures: a named struct aliasing an mmap region through an
+// unexported `mapped []byte` field, constructors reaching mmapFile, and a
+// Close that unmaps.
+package mmapgraph
+
+import "os"
+
+// G is the mapped type: CSR arrays aliasing the mapped region.
+type G struct { // wantfact "G: mmap-backed"
+	Offsets []int64
+	Adj     []uint32
+	mapped  []byte
+}
+
+// Close unmaps. Idempotent.
+func (g *G) Close() error {
+	g.mapped = nil
+	return nil
+}
+
+// Mapped reads the header only.
+func (g *G) Mapped() bool { return g.mapped != nil }
+
+// NumVertices reads the (possibly unmapped) offsets array.
+func (g *G) NumVertices() int { return len(g.Offsets) - 1 }
+
+// Neighbors returns a slice aliasing the mapped adjacency array.
+func (g *G) Neighbors(v int) []uint32 {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// mmapFile stands in for the real syscall wrapper.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return make([]byte, size), nil
+}
+
+// Load maps a file: the direct constructor.
+func Load(path string) (*G, error) { // wantfact "Load: maps memory"
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := mmapFile(f, 64)
+	if err != nil {
+		return nil, err
+	}
+	return &G{mapped: data}, nil
+}
+
+// Open wraps Load: the fact must propagate through the wrapper.
+func Open(path string) (*G, error) { // wantfact "Open: maps memory"
+	return Load(path)
+}
+
+// FromArrays builds a heap-backed G and never touches mmapFile: no fact.
+func FromArrays(offsets []int64, adj []uint32) *G {
+	return &G{Offsets: offsets, Adj: adj}
+}

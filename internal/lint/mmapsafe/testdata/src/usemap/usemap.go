@@ -1,0 +1,85 @@
+// Package usemap exercises mmapsafe across the package boundary: the
+// mapped-type and constructor facts arrive from mmapgraph through the
+// fact store.
+package usemap
+
+import "mmapgraph"
+
+// bad touches the graph after Close.
+func bad(path string) int {
+	g, err := mmapgraph.Load(path)
+	if err != nil {
+		return -1
+	}
+	n := g.NumVertices()
+	_ = g.Close()
+	return n + g.NumVertices() // want "use of g after Close: the mmap-backed G memory may be unmapped"
+}
+
+// good defers the Close: nothing in the body runs after it.
+func good(path string) (int, error) {
+	g, err := mmapgraph.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer g.Close()
+	return g.NumVertices(), nil
+}
+
+// headerOK: Mapped and a second Close read only the struct header.
+func headerOK(g *mmapgraph.G) bool {
+	_ = g.Close()
+	_ = g.Close()
+	return g.Mapped()
+}
+
+// aliasCall reads a slice obtained from a method after the base's Close.
+func aliasCall(g *mmapgraph.G) uint32 {
+	adj := g.Neighbors(0)
+	_ = g.Close()
+	return adj[0] // want "use of adj after Close of g: it aliases the unmapped G memory"
+}
+
+// aliasField reads a slice field alias after Close.
+func aliasField(g *mmapgraph.G) int64 {
+	offs := g.Offsets
+	_ = g.Close()
+	return offs[1] // want "use of offs after Close of g: it aliases the unmapped G memory"
+}
+
+// captureBefore snapshots the needed values before closing: the fix
+// pattern mmapsafe pushes code toward.
+func captureBefore(g *mmapgraph.G) int {
+	n := g.NumVertices()
+	_ = g.Close()
+	return n
+}
+
+// branchClose closes on one path only; the join still reaches the use.
+func branchClose(g *mmapgraph.G, flag bool) int {
+	if flag {
+		_ = g.Close()
+	}
+	return g.NumVertices() // want "use of g after Close: the mmap-backed G memory may be unmapped"
+}
+
+// reassign gives the variable a fresh mapping: open again from there.
+func reassign(path string) {
+	g, _ := mmapgraph.Load(path)
+	_ = g.Close()
+	g, _ = mmapgraph.Load(path)
+	_ = g.NumVertices()
+	_ = g.Close()
+}
+
+// nilCheckOK compares against nil after Close: reads only the pointer.
+func nilCheckOK(g *mmapgraph.G) bool {
+	_ = g.Close()
+	return g != nil
+}
+
+// wrap returns a mapped value it obtained from an imported constructor:
+// the ctor fact must cross the package boundary and re-export here.
+func wrap(path string) (*mmapgraph.G, error) { // wantfact "wrap: maps memory"
+	return mmapgraph.Load(path)
+}

@@ -1,0 +1,12 @@
+package reflease_test
+
+import (
+	"testing"
+
+	"thriftylp/internal/lint/linttest"
+	"thriftylp/internal/lint/reflease"
+)
+
+func TestRefLease(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), reflease.Analyzer, "snap", "use")
+}

@@ -67,6 +67,7 @@ func Serve(addr string, reg *Registry, log *slog.Logger) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, reg: reg}
+	//thrifty:goroutine Serve returns ErrServerClosed when Server.Close shuts the listener
 	go func() {
 		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed && log != nil {
 			log.Error("debug server stopped", "err", err)

@@ -114,6 +114,7 @@ func (w *Watchdog) Start() {
 	w.stop = make(chan struct{})
 	w.done = make(chan struct{})
 	w.lastTick.Store(time.Now().UnixNano())
+	//thrifty:goroutine exits when Stop closes w.stop; Stop waits on w.done
 	go func() {
 		defer close(w.done)
 		w.tick()

@@ -610,6 +610,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			http.StatusInternalServerError)
 	default:
 		sn := s.src.Acquire()
+		if sn == nil {
+			// The freshly reloaded snapshot was retired before we could
+			// reference it (concurrent shutdown); the reload itself stuck.
+			http.Error(w, "reloaded, but no snapshot available", http.StatusServiceUnavailable)
+			return
+		}
 		defer sn.Release()
 		_ = writeJSON(w, nil, map[string]any{
 			"reloaded":   true,

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -53,47 +54,84 @@ func AppendPairs(buf []byte, base uint32, pairs []Pair) []byte {
 	}
 	pairs = pairs[:w]
 
-	var tmp [binary.MaxVarintLen64]byte
-	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(w))]...)
+	// Grow once to the worst case (count header plus two maximal varints per
+	// pair) so the encode loop below never reallocates or bounds-checks its
+	// way through repeated appends.
+	need := binary.MaxVarintLen64 + 2*binary.MaxVarintLen32*len(pairs)
+	start := len(buf)
+	buf = append(buf, make([]byte, need)...)
+	n := encodePairs(buf[start:], base, pairs)
+	return buf[:start+n]
+}
+
+// encodePairs writes the count header and delta-encoded pairs into dst,
+// which must have room for the worst case, and returns the bytes written.
+// This is the per-round exchange encode loop; it runs once per outgoing
+// batch per round, so it stays free of allocation and formatting.
+//
+//thrifty:hotpath
+func encodePairs(dst []byte, base uint32, pairs []Pair) int {
+	n := binary.PutUvarint(dst, uint64(len(pairs)))
 	prev := base
 	for _, p := range pairs {
-		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(p.V-prev))]...)
-		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(p.L))]...)
+		n += binary.PutUvarint(dst[n:], uint64(p.V-prev))
+		n += binary.PutUvarint(dst[n:], uint64(p.L))
 		prev = p.V
 	}
-	return buf
+	return n
 }
 
 // DecodePairs decodes a batch encoded by AppendPairs, invoking fn for every
 // pair in ascending vertex order. hi bounds the vertex ids (the destination
 // shard's Hi); a batch decoding outside [base, hi) or truncating mid-pair is
-// reported as an error rather than applied.
+// reported as an error rather than applied. The decode loop is the hot half
+// of every exchange round — error construction lives in the cold helpers
+// below so the loop itself never touches fmt.
+//
+//thrifty:hotpath
 func DecodePairs(data []byte, base, hi uint32, fn func(v, label uint32)) error {
 	count, n := binary.Uvarint(data)
 	if n <= 0 {
-		return fmt.Errorf("shard: corrupt exchange batch header")
+		return errCorruptHeader
 	}
 	data = data[n:]
 	v := uint64(base)
 	for i := uint64(0); i < count; i++ {
 		delta, n := binary.Uvarint(data)
 		if n <= 0 {
-			return fmt.Errorf("shard: exchange batch truncated at pair %d of %d", i, count)
+			return errTruncated(i, count)
 		}
 		data = data[n:]
 		label, n := binary.Uvarint(data)
 		if n <= 0 {
-			return fmt.Errorf("shard: exchange batch truncated at pair %d of %d", i, count)
+			return errTruncated(i, count)
 		}
 		data = data[n:]
 		v += delta
 		if v >= uint64(hi) || label > uint64(^uint32(0)) {
-			return fmt.Errorf("shard: exchange pair (%d,%d) outside shard range [%d,%d)", v, label, base, hi)
+			return errOutsideRange(v, label, base, hi)
 		}
 		fn(uint32(v), uint32(label))
 	}
 	if len(data) != 0 {
-		return fmt.Errorf("shard: %d trailing bytes after exchange batch", len(data))
+		return errTrailing(len(data))
 	}
 	return nil
+}
+
+// Cold error constructors for DecodePairs. The strings are frozen by the
+// errfreeze analyzer (internal/lint/errfreeze/frozen.go); change them there
+// in the same commit or the lint gate fails.
+var errCorruptHeader = errors.New("shard: corrupt exchange batch header")
+
+func errTruncated(i, count uint64) error {
+	return fmt.Errorf("shard: exchange batch truncated at pair %d of %d", i, count)
+}
+
+func errOutsideRange(v, label uint64, base, hi uint32) error {
+	return fmt.Errorf("shard: exchange pair (%d,%d) outside shard range [%d,%d)", v, label, base, hi)
+}
+
+func errTrailing(n int) error {
+	return fmt.Errorf("shard: %d trailing bytes after exchange batch", n)
 }

@@ -213,7 +213,11 @@ func (n *Node) Bootstrap() {
 
 // Apply MIN-combines one incoming batch into the node's component labels.
 // Pairs addressing suppressed (label-0) components are counted and skipped:
-// nothing can improve on 0.
+// nothing can improve on 0. This is the inbox side of every exchange round;
+// the per-pair callback stays on slices only (markChanged owns the one
+// append, outside the annotation's reach).
+//
+//thrifty:hotpath
 func (n *Node) Apply(data []byte) error {
 	return DecodePairs(data, n.Lo, n.Hi, func(v, label uint32) {
 		r := n.rep[v-n.Lo]
@@ -289,6 +293,8 @@ func (n *Node) Emit(numShards int) (batches [][]byte, pairs int64) {
 }
 
 // Labels writes the node's final per-vertex labels into the global array.
+//
+//thrifty:hotpath
 func (n *Node) Labels(global []uint32) {
 	for v := 0; v < len(n.rep); v++ {
 		global[int(n.Lo)+v] = n.label[n.rep[v]]

@@ -241,9 +241,13 @@ func (s *Set) Slice(i int) (*graph.CSRSlice, error) {
 	}
 	if sl.Lo != info.Lo || sl.Hi != info.Hi || sl.NumSlots() != info.Slots ||
 		sl.GlobalVertices != s.Manifest.Vertices {
+		// Capture the header before Close: afterwards the slice must not
+		// be touched (mmapsafe), and on mapped hosts the fields alias the
+		// unmapped region.
+		gv, lo, hi, slots := sl.GlobalVertices, sl.Lo, sl.Hi, sl.NumSlots()
 		sl.Close()
 		return nil, fmt.Errorf("shard: %s header {%d [%d,%d) %d slots} disagrees with manifest {%d [%d,%d) %d slots}",
-			info.File, sl.GlobalVertices, sl.Lo, sl.Hi, sl.NumSlots(),
+			info.File, gv, lo, hi, slots,
 			s.Manifest.Vertices, info.Lo, info.Hi, info.Slots)
 	}
 	return sl, nil
