@@ -1,0 +1,12 @@
+package hangtest
+
+import (
+	"testing"
+
+	"thriftylp/internal/lint/linttest"
+	"thriftylp/internal/lint/reflease"
+)
+
+func TestHang(t *testing.T) {
+	linttest.Run(t, "/root/repo/internal/lint/reflease/hangcheck/testdata", reflease.Analyzer, "snap", "use")
+}

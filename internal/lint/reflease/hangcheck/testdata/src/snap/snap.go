@@ -1,0 +1,72 @@
+// Package snap mimics the internal/serve snapshot refcount protocol for
+// the reflease fixtures: a Source hands out *Snapshot references via an
+// Acquire-shaped method, tryRef conditionally takes a reference, Release
+// drops one.
+package snap
+
+// Snapshot is a refcounted resource.
+type Snapshot struct {
+	refs int
+	id   int
+}
+
+// ID is a harmless accessor: reading through a reference is not a use the
+// analyzer cares about.
+func (s *Snapshot) ID() int { return s.id }
+
+func (s *Snapshot) tryRef() bool {
+	if s.refs <= 0 {
+		return false
+	}
+	s.refs++
+	return true
+}
+
+// Release drops one reference.
+func (s *Snapshot) Release() { s.refs-- }
+
+// Source publishes snapshots.
+type Source struct {
+	cur *Snapshot
+}
+
+// Acquire is seeded by signature shape: niladic, single releasable-pointer
+// result. Inside its body the tryRef branch transfers ownership out via
+// return, so the body itself is clean.
+func (s *Source) Acquire() *Snapshot { // wantfact "Acquire: acquires"
+	for {
+		sn := s.cur
+		if sn == nil {
+			return nil
+		}
+		if sn.tryRef() {
+			return sn
+		}
+	}
+}
+
+// MustAcquire is not Acquire-shaped by name alone on the caller's side of
+// the fact store: it earns its fact by returning an acquired reference.
+func (s *Source) MustAcquire() *Snapshot { // wantfact "MustAcquire: acquires"
+	sn := s.Acquire()
+	if sn == nil {
+		panic("snap: no snapshot")
+	}
+	return sn
+}
+
+// leakTry takes a reference on the true branch and never releases it.
+func leakTry(sn *Snapshot) {
+	if sn.tryRef() { // want "result of tryRef is not released on every path \\(reference leak\\)"
+		_ = sn.ID()
+	}
+}
+
+// okTry releases on exactly the branch that took the reference.
+func okTry(sn *Snapshot) int {
+	if sn.tryRef() {
+		defer sn.Release()
+		return sn.ID()
+	}
+	return -1
+}
